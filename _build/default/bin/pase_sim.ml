@@ -1,0 +1,188 @@
+(* pase_sim: command-line front end for single experiments.
+
+   Examples:
+     pase_sim run --scenario left-right --protocol pase --load 0.7
+     pase_sim run --scenario worker-aggregator --protocol pfabric --load 0.9 --flows 2000
+     pase_sim compare --scenario deadline --load 0.8
+     pase_sim list *)
+
+let scenarios =
+  [
+    ( "left-right",
+      "160-host three-tier tree; left subtree sends to right subtree",
+      fun ~num_flows ~seed ~load -> Scenario.left_right ~num_flows ~seed ~load () );
+    ( "deadline",
+      "20-host rack, U[100,500] KB flows with U[5,25] ms deadlines",
+      fun ~num_flows ~seed ~load ->
+        Scenario.deadline_intra_rack ~num_flows ~seed ~load () );
+    ( "intra-rack",
+      "20-host rack, U[100,500] KB flows, random pairs",
+      fun ~num_flows ~seed ~load ->
+        Scenario.intra_rack_medium ~num_flows ~seed ~load () );
+    ( "worker-aggregator",
+      "40-host search rack, query fan-in to round-robin aggregators",
+      fun ~num_flows ~seed ~load ->
+        Scenario.worker_aggregator ~num_flows ~seed ~load () );
+    ( "worker-uniform",
+      "40-host search rack, random worker/aggregator pairs",
+      fun ~num_flows ~seed ~load ->
+        Scenario.worker_uniform ~num_flows ~seed ~load () );
+    ( "testbed",
+      "10-node 1 Gbps rack (testbed replica), 9 clients -> 1 server",
+      fun ~num_flows ~seed ~load -> Scenario.testbed ~num_flows ~seed ~load () );
+    ( "web-search",
+      "40-host rack, empirical web-search flow sizes (heavy-tailed)",
+      fun ~num_flows ~seed ~load -> Scenario.web_search ~num_flows ~seed ~load () );
+    ( "data-mining",
+      "40-host rack, empirical data-mining flow sizes (heavier tail)",
+      fun ~num_flows ~seed ~load -> Scenario.data_mining ~num_flows ~seed ~load () );
+    ( "fat-tree",
+      "k=6 fat-tree (54 hosts), uniform random pairs over ECMP",
+      fun ~num_flows ~seed ~load ->
+        Scenario.fat_tree_uniform ~k:6 ~num_flows ~seed ~load () );
+  ]
+
+let protocols =
+  [
+    ("pase", Runner.pase);
+    ("pase-edf", Runner.Pase { Config.default with Config.scheduling = Config.Edf });
+    ("pase-local", Runner.Pase { Config.default with Config.local_only = true });
+    ("pase-dctcp", Runner.Pase { Config.default with Config.use_ref_rate = false });
+    ("pase-task", Runner.Pase { Config.default with Config.scheduling = Config.Task_aware });
+    ("dctcp", Runner.Dctcp);
+    ("d2tcp", Runner.D2tcp);
+    ("l2dct", Runner.L2dct);
+    ("pfabric", Runner.Pfabric);
+    ("pdq", Runner.Pdq);
+    ("d3", Runner.D3);
+  ]
+
+let find_scenario name =
+  match List.find_opt (fun (n, _, _) -> n = name) scenarios with
+  | Some (_, _, f) -> Ok f
+  | None ->
+      Error
+        (Printf.sprintf "unknown scenario %S (see `pase_sim list`)" name)
+
+let find_protocol name =
+  match List.assoc_opt name protocols with
+  | Some p -> Ok p
+  | None ->
+      Error (Printf.sprintf "unknown protocol %S (see `pase_sim list`)" name)
+
+let print_result (r : Runner.result) =
+  Series.print_table
+    ~title:
+      (Printf.sprintf "%s on %s at %.0f%% load" r.Runner.protocol
+         r.Runner.scenario (r.Runner.load *. 100.))
+    ~header:[ "metric"; "value" ]
+    [
+      [ "AFCT (ms)"; Printf.sprintf "%.3f" (r.Runner.afct *. 1e3) ];
+      [ "99th pct FCT (ms)"; Printf.sprintf "%.3f" (r.Runner.p99 *. 1e3) ];
+      [
+        "deadline met";
+        (if Float.is_nan r.Runner.app_throughput then "n/a"
+         else Printf.sprintf "%.3f" r.Runner.app_throughput);
+      ];
+      [ "loss rate (%)"; Printf.sprintf "%.2f" (r.Runner.loss_rate *. 100.) ];
+      [ "control msgs"; string_of_int r.Runner.ctrl_msgs ];
+      [ "control msgs/s"; Printf.sprintf "%.0f" r.Runner.ctrl_msg_rate ];
+      [ "flows completed"; string_of_int r.Runner.completed ];
+      [ "flows censored"; string_of_int r.Runner.censored ];
+      [ "simulated time (s)"; Printf.sprintf "%.4f" r.Runner.duration ];
+      [ "events"; string_of_int r.Runner.events ];
+    ]
+
+open Cmdliner
+
+let load_arg =
+  let doc = "Offered load on the scenario's bottleneck, in (0, 1]." in
+  Arg.(value & opt float 0.5 & info [ "load"; "l" ] ~docv:"LOAD" ~doc)
+
+let flows_arg =
+  let doc = "Number of measured flows." in
+  Arg.(value & opt int 800 & info [ "flows"; "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Workload seed (runs are deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scenario_arg =
+  let doc = "Scenario name (see `pase_sim list`)." in
+  Arg.(value & opt string "left-right" & info [ "scenario"; "s" ] ~docv:"NAME" ~doc)
+
+let protocol_arg =
+  let doc = "Protocol name (see `pase_sim list`)." in
+  Arg.(value & opt string "pase" & info [ "protocol"; "p" ] ~docv:"NAME" ~doc)
+
+let run_cmd =
+  let action scenario protocol load flows seed =
+    match (find_scenario scenario, find_protocol protocol) with
+    | Ok sc, Ok proto ->
+        if load <= 0. || load > 1. then `Error (false, "load must be in (0,1]")
+        else begin
+          let r = Runner.run proto (sc ~num_flows:flows ~seed ~load) in
+          print_result r;
+          `Ok ()
+        end
+    | Error e, _ | _, Error e -> `Error (false, e)
+  in
+  let term =
+    Term.(
+      ret (const action $ scenario_arg $ protocol_arg $ load_arg $ flows_arg
+          $ seed_arg))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one protocol on one scenario") term
+
+let compare_cmd =
+  let action scenario load flows seed =
+    match find_scenario scenario with
+    | Error e -> `Error (false, e)
+    | Ok sc ->
+        let rows =
+          List.map
+            (fun (name, proto) ->
+              let r = Runner.run proto (sc ~num_flows:flows ~seed ~load) in
+              [
+                name;
+                Printf.sprintf "%.3f" (r.Runner.afct *. 1e3);
+                Printf.sprintf "%.3f" (r.Runner.p99 *. 1e3);
+                (if Float.is_nan r.Runner.app_throughput then "n/a"
+                 else Printf.sprintf "%.3f" r.Runner.app_throughput);
+                Printf.sprintf "%.2f" (r.Runner.loss_rate *. 100.);
+              ])
+            protocols
+        in
+        Series.print_table
+          ~title:
+            (Printf.sprintf "all protocols on %s at %.0f%% load" scenario
+               (load *. 100.))
+          ~header:[ "protocol"; "AFCT(ms)"; "p99(ms)"; "deadline-met"; "loss(%)" ]
+          rows;
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const action $ scenario_arg $ load_arg $ flows_arg $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every protocol on one scenario and compare")
+    term
+
+let list_cmd =
+  let action () =
+    print_endline "scenarios:";
+    List.iter
+      (fun (n, d, _) -> Printf.printf "  %-18s %s\n" n d)
+      scenarios;
+    print_endline "\nprotocols:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) protocols;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List scenarios and protocols")
+    Term.(ret (const action $ const ()))
+
+let () =
+  let doc = "PASE data-center transport simulator (SIGCOMM'14 reproduction)" in
+  let info = Cmd.info "pase_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; compare_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/arbitration_demo.ml: Array Config Counters Engine Flow Hashtbl Hierarchy List Pase_host Printf Prio_queue Receiver Sender_base Topology

@@ -1,0 +1,1 @@
+examples/arbitration_demo.mli:

@@ -1,0 +1,1 @@
+examples/deadline_webapp.ml: Config List Printf Runner Scenario Series

@@ -1,0 +1,1 @@
+examples/incast_telemetry.ml: Array Config Counters Engine Flow Hierarchy List Net Option Packet Pase_host Pfabric_host Pfabric_queue Printf Prio_queue Receiver Sender_base Summary Telemetry Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Config Counters Engine Flow Hierarchy List Pase_host Printf Prio_queue Receiver Topology

@@ -1,0 +1,1 @@
+examples/websearch.ml: Array List Printf Runner Scenario Series Sys

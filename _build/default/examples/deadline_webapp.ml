@@ -1,0 +1,29 @@
+(* Deadline-bound web application (partition-aggregate with SLAs): the
+   D2TCP evaluation scenario. Shows how many responses make their deadline
+   under PASE (EDF arbitration), D2TCP, and DCTCP as load grows.
+
+   Run with: dune exec examples/deadline_webapp.exe *)
+
+let () =
+  print_endline
+    "Deadline-bound app: 20-host rack, U[100,500] KB responses, deadlines \
+     U[5,25] ms";
+  let pase_edf =
+    Runner.Pase { Config.default with Config.scheduling = Config.Edf }
+  in
+  let rows =
+    List.map
+      (fun load ->
+        let tput proto =
+          (Runner.run proto
+             (Scenario.deadline_intra_rack ~num_flows:400 ~seed:3 ~load ()))
+            .Runner.app_throughput
+        in
+        (load *. 100., [ tput pase_edf; tput Runner.D2tcp; tput Runner.Dctcp ]))
+      [ 0.2; 0.4; 0.6; 0.8; 0.9 ]
+  in
+  Series.print
+    ~fmt_y:(Printf.sprintf "%.3f")
+    (Series.make ~title:"fraction of deadlines met" ~x_label:"load(%)"
+       ~columns:[ "PASE (EDF)"; "D2TCP"; "DCTCP" ]
+       ~rows)

@@ -1,0 +1,38 @@
+(* Web-search rack: the query/response (worker -> aggregator) pattern the
+   paper's introduction motivates. Compares PASE against pFabric and DCTCP
+   at one load and prints the per-protocol AFCT, tail, and loss rate.
+
+   Run with: dune exec examples/websearch.exe [load] *)
+
+let () =
+  let load =
+    if Array.length Sys.argv > 1 then
+      match float_of_string_opt Sys.argv.(1) with Some l -> l | None -> 0.8
+    else 0.8
+  in
+  Printf.printf
+    "Web-search rack (40 hosts, query fan-out, U[2,198] KB responses) at \
+     %.0f%% load\n"
+    (load *. 100.);
+  let protocols = [ Runner.pase; Runner.Pfabric; Runner.Dctcp ] in
+  let results =
+    List.map
+      (fun p ->
+        Runner.run p (Scenario.worker_aggregator ~num_flows:600 ~seed:7 ~load ()))
+      protocols
+  in
+  Series.print_table ~title:"query response completion times"
+    ~header:[ "protocol"; "AFCT (ms)"; "p99 FCT (ms)"; "loss (%)"; "censored" ]
+    (List.map
+       (fun r ->
+         [
+           r.Runner.protocol;
+           Printf.sprintf "%.3f" (r.Runner.afct *. 1e3);
+           Printf.sprintf "%.3f" (r.Runner.p99 *. 1e3);
+           Printf.sprintf "%.2f" (r.Runner.loss_rate *. 100.);
+           string_of_int r.Runner.censored;
+         ])
+       results);
+  let pase = List.nth results 0 and pfabric = List.nth results 1 in
+  Printf.printf "PASE improves AFCT over pFabric by %.1f%%\n"
+    ((pfabric.Runner.afct -. pase.Runner.afct) /. pfabric.Runner.afct *. 100.)

@@ -1,0 +1,1 @@
+lib/core/arbitrator.ml: Arbitration Array Hashtbl List

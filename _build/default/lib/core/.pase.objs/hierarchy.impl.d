@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Arbitrator Array Config Counters Engine Float Flow Hashtbl Link List Net Rng Stdlib Topology

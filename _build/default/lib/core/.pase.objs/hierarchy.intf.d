@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Arbitrator Config Counters Engine Flow Topology

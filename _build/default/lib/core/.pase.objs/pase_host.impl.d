@@ -1,0 +1,1 @@
+lib/core/pase_host.ml: Config Ecn_cc Float Flow Hierarchy Packet Sender_base

@@ -1,0 +1,1 @@
+lib/core/pase_host.mli: Config Flow Hierarchy Net Sender_base

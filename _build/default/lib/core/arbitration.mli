@@ -1,0 +1,30 @@
+(** Algorithm 1 (paper §3.1.1), as a pure function over a priority-sorted
+    flow list. Kept separate from {!Arbitrator} state so the algorithm's
+    invariants can be property-tested in isolation. *)
+
+type input = {
+  flow : int;
+  criterion : float;  (** sort key: remaining size (SRPT) or deadline (EDF) *)
+  demand_bps : float;  (** max rate the source can use *)
+}
+
+type output = {
+  out_flow : int;
+  queue : int;  (** 0 = highest-priority queue *)
+  rref_bps : float;  (** reference rate *)
+}
+
+(** [assign ~capacity_bps ~num_queues ~base_rate_bps flows] computes, for
+    every flow, its priority queue and reference rate.
+
+    Flows are processed in increasing [(criterion, flow)] order. Let ADH be
+    the aggregate demand of strictly higher-priority flows:
+    - ADH < C: queue 0 and [rref = min demand (C - ADH)];
+    - otherwise queue [floor(ADH/C)] capped at [num_queues - 1], with
+      [rref = base_rate_bps] (one packet per RTT). *)
+val assign :
+  capacity_bps:float ->
+  num_queues:int ->
+  base_rate_bps:float ->
+  input list ->
+  output list

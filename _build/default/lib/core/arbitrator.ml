@@ -1,0 +1,83 @@
+type entry = {
+  mutable criterion : float;
+  mutable demand_bps : float;
+  mutable refreshed : float;
+}
+
+type t = {
+  mutable capacity_bps : float;
+  entries : (int, entry) Hashtbl.t;
+  results : (int, int * float) Hashtbl.t;
+  mutable top_counts : int array;  (* per-queue flow counts from last pass *)
+}
+
+let create ~capacity_bps =
+  if capacity_bps <= 0. then invalid_arg "Arbitrator.create: capacity";
+  {
+    capacity_bps;
+    entries = Hashtbl.create 64;
+    results = Hashtbl.create 64;
+    top_counts = [||];
+  }
+
+let capacity_bps t = t.capacity_bps
+let set_capacity t c = if c > 0. then t.capacity_bps <- c
+
+let upsert t ~flow ~criterion ~demand_bps ~now =
+  match Hashtbl.find_opt t.entries flow with
+  | Some e ->
+      e.criterion <- criterion;
+      e.demand_bps <- demand_bps;
+      e.refreshed <- now
+  | None ->
+      Hashtbl.replace t.entries flow { criterion; demand_bps; refreshed = now }
+
+let remove t ~flow =
+  Hashtbl.remove t.entries flow;
+  Hashtbl.remove t.results flow
+
+let flows t = Hashtbl.length t.entries
+let mem t ~flow = Hashtbl.mem t.entries flow
+
+let expire t ~now ~max_age =
+  let stale =
+    Hashtbl.fold
+      (fun flow e acc -> if now -. e.refreshed > max_age then flow :: acc else acc)
+      t.entries []
+  in
+  List.iter (fun flow -> remove t ~flow) stale
+
+let arbitrate t ~num_queues ~base_rate_bps =
+  Hashtbl.reset t.results;
+  let inputs =
+    Hashtbl.fold
+      (fun flow e acc ->
+        { Arbitration.flow; criterion = e.criterion; demand_bps = e.demand_bps }
+        :: acc)
+      t.entries []
+  in
+  let outs =
+    Arbitration.assign ~capacity_bps:t.capacity_bps ~num_queues ~base_rate_bps
+      inputs
+  in
+  let counts = Array.make num_queues 0 in
+  List.iter
+    (fun o ->
+      Hashtbl.replace t.results o.Arbitration.out_flow
+        (o.Arbitration.queue, o.Arbitration.rref_bps);
+      counts.(o.Arbitration.queue) <- counts.(o.Arbitration.queue) + 1)
+    outs;
+  t.top_counts <- counts
+
+let cached t ~flow = Hashtbl.find_opt t.results flow
+
+let total_demand t =
+  Hashtbl.fold (fun _ e acc -> acc +. e.demand_bps) t.entries 0.
+
+let in_top_queues t ~k =
+  let n = Array.length t.top_counts in
+  let acc = ref 0 in
+  for i = 0 to min k n - 1 do
+    acc := !acc + t.top_counts.(i)
+  done;
+  !acc

@@ -1,0 +1,35 @@
+(** Per-link arbitrator: soft state about the flows crossing one (real or
+    delegated virtual) link, refreshed every arbitration round, plus the
+    cached result of the last {!arbitrate} pass. *)
+
+type t
+
+val create : capacity_bps:float -> t
+
+(** Current capacity (changes for delegated virtual links). *)
+val capacity_bps : t -> float
+
+val set_capacity : t -> float -> unit
+
+(** [upsert t ~flow ~criterion ~demand_bps ~now] refreshes a flow's entry. *)
+val upsert : t -> flow:int -> criterion:float -> demand_bps:float -> now:float -> unit
+
+val remove : t -> flow:int -> unit
+val flows : t -> int
+val mem : t -> flow:int -> bool
+
+(** Drop entries not refreshed since [now - max_age] (soft-state expiry for
+    lost sources). *)
+val expire : t -> now:float -> max_age:float -> unit
+
+(** Run Algorithm 1 over the current flow set and cache the results. *)
+val arbitrate : t -> num_queues:int -> base_rate_bps:float -> unit
+
+(** Cached result of the last [arbitrate] for [flow]: [(queue, rref)]. *)
+val cached : t -> flow:int -> (int * float) option
+
+(** Number of flows mapped to queues [< k] in the last [arbitrate] pass. *)
+val in_top_queues : t -> k:int -> int
+
+(** Sum of the demands of all currently registered flows (bps). *)
+val total_demand : t -> float

@@ -1,0 +1,439 @@
+type contact = {
+  arbs : Arbitrator.t list;
+  msgs : int;  (* control messages this contact costs per round *)
+  latency : float;  (* delay before the source can apply the response *)
+}
+
+type flow_state = {
+  flow : Flow.t;
+  contacts : contact array;
+  criterion : unit -> float;
+  demand : unit -> float;
+  apply : queue:int -> rref_bps:float -> unit;
+  mutable last_queue : int;
+  mutable contacted : bool array;  (* per-contact: consulted this round *)
+  mutable pruned : bool;  (* some contact was skipped this round *)
+  mutable first_round : bool;
+      (* a new flow applies partial decisions as responses arrive instead of
+         waiting for the farthest arbitrator (§3.1.2: "a flow starts as soon
+         as it receives arbitration information from the child arbitrator") *)
+}
+
+type t = {
+  engine : Engine.t;
+  counters : Counters.t;
+  cfg : Config.t;
+  topo : Topology.t;
+  base_rate_bps : float;
+  real : (int * int, Arbitrator.t) Hashtbl.t;
+  virtuals : (int * int * int, Arbitrator.t) Hashtbl.t;
+      (* (parent_from, parent_to, delegate_tor) -> virtual arbitrator *)
+  virtual_groups : (int * int, (int * Arbitrator.t) list ref) Hashtbl.t;
+      (* parent link -> delegated children *)
+  flows : (int, flow_state) Hashtbl.t;
+  rng : Rng.t;  (* drives control-plane loss injection only *)
+  mutable level_of : int array;
+  mutable rounds : int;
+  mutable running : bool;
+}
+
+let node_levels (topo : Topology.t) =
+  let n = Net.node_count topo.Topology.net in
+  let lv = Array.make n 0 in
+  Array.iter (fun h -> lv.(h) <- 0) topo.Topology.hosts;
+  Array.iter (fun s -> lv.(s) <- 1) topo.Topology.tors;
+  Array.iter (fun s -> lv.(s) <- 2) topo.Topology.aggs;
+  Array.iter (fun s -> lv.(s) <- 3) topo.Topology.cores;
+  lv
+
+let create engine counters cfg topo ~base_rate_bps =
+  {
+    engine;
+    counters;
+    cfg;
+    topo;
+    base_rate_bps;
+    real = Hashtbl.create 64;
+    virtuals = Hashtbl.create 16;
+    virtual_groups = Hashtbl.create 8;
+    flows = Hashtbl.create 256;
+    rng = Rng.create 0x9a5e;
+    level_of = node_levels topo;
+    rounds = 0;
+    running = false;
+  }
+
+let overbook = 1.6
+
+let rounds t = t.rounds
+let arbitrator_count t = Hashtbl.length t.real + Hashtbl.length t.virtuals
+
+let real_arb t a b =
+  match Hashtbl.find_opt t.real (a, b) with
+  | Some arb -> arb
+  | None ->
+      let link =
+        match Net.link_from t.topo.Topology.net a b with
+        | Some l -> l
+        | None -> invalid_arg "Hierarchy: no such link"
+      in
+      let arb = Arbitrator.create ~capacity_bps:(Link.rate_bps link) in
+      Hashtbl.replace t.real (a, b) arb;
+      arb
+
+let arbitrator_of_link t a b = Hashtbl.find_opt t.real (a, b)
+
+(* Virtual link: the slice of parent link (a, b) delegated to [tor]'s
+   arbitrator. Created with an equal share of the parent capacity. *)
+let virtual_arb t (a, b) tor =
+  match Hashtbl.find_opt t.virtuals (a, b, tor) with
+  | Some arb -> arb
+  | None ->
+      let link =
+        match Net.link_from t.topo.Topology.net a b with
+        | Some l -> l
+        | None -> invalid_arg "Hierarchy: no such parent link"
+      in
+      let group =
+        match Hashtbl.find_opt t.virtual_groups (a, b) with
+        | Some g -> g
+        | None ->
+            let g = ref [] in
+            Hashtbl.replace t.virtual_groups (a, b) g;
+            g
+      in
+      let members = 1 + List.length !group in
+      let arb =
+        Arbitrator.create
+          ~capacity_bps:
+            (Float.min (Link.rate_bps link)
+               (Link.rate_bps link /. float_of_int members *. overbook))
+      in
+      Hashtbl.replace t.virtuals (a, b, tor) arb;
+      group := (tor, arb) :: !group;
+      arb
+
+(* Rebalance delegated capacities: each child's share is proportional to
+   the aggregate demand it currently sees, so children carrying
+   high-priority traffic get more of the parent link (§3.1.2). *)
+let rebalance t =
+  Hashtbl.iter
+    (fun (a, b) group ->
+      let link =
+        match Net.link_from t.topo.Topology.net a b with
+        | Some l -> l
+        | None -> assert false
+      in
+      let weights =
+        List.map (fun (_, arb) -> 1e6 +. Arbitrator.total_demand arb) !group
+      in
+      let total = List.fold_left ( +. ) 0. weights in
+      let members = float_of_int (List.length !group) in
+      if total > 0. then
+        List.iter2
+          (fun (_, arb) w ->
+            (* Virtual links overbook: reference rates are not binding and
+               the self-adjusting endpoints absorb transient over-admission
+               (§2.2), so a burst at one child need not wait for the next
+               rebalance. Every child also keeps at least its equal share -
+               demand weighting only grants extra, so a quiet child is never
+               starved by a heavy sibling. *)
+            let frac = Float.max (1. /. members) (w /. total) in
+            let share = Link.rate_bps link *. frac *. overbook in
+            Arbitrator.set_capacity arb (Float.min (Link.rate_bps link) share);
+            (* Aggregate report from child to parent and response. *)
+            t.counters.Counters.ctrl_msgs <- t.counters.Counters.ctrl_msgs + 2)
+          !group weights)
+    t.virtual_groups
+
+(* Build the ordered contact list for a path. See the .mli for the cost
+   model. The list runs: source-local, source half ascending, then
+   destination-local, destination half ascending — pruning walks it in that
+   order and stops contacting once the flow leaves the top queues. *)
+let build_contacts t ~(flow : Flow.t) =
+  let net = t.topo.Topology.net in
+  let path = Array.of_list (Net.route net ~flow:flow.Flow.id ~src:flow.Flow.src ~dst:flow.Flow.dst ()) in
+  let n = Array.length path in
+  let delay = t.topo.Topology.link_delay_s in
+  let proc = t.cfg.Config.ctrl_proc_delay in
+  let one_way = float_of_int (n - 1) *. delay in
+  let lv i = t.level_of.(path.(i)) in
+  let src_side = ref [] and dst_side = ref [] and src_local = ref [] and dst_local = ref [] in
+  for i = 0 to n - 2 do
+    let a = path.(i) and b = path.(i + 1) in
+    let ascending = lv (i + 1) > lv i in
+    if i = 0 then src_local := [ real_arb t a b ]
+    else if i + 1 = n - 1 then dst_local := [ real_arb t a b ]
+    else if ascending then begin
+      (* Source half. Arbitrator at the lower node [a], height i above src. *)
+      let is_core_link = lv (i + 1) = 3 in
+      if t.cfg.Config.delegation && (not t.cfg.Config.local_only) && is_core_link
+      then begin
+        (* Delegated to the source's ToR-level contact (height 1). *)
+        let tor = path.(1) in
+        let arb = virtual_arb t (a, b) tor in
+        src_side := (1, arb) :: !src_side
+      end
+      else src_side := (i, real_arb t a b) :: !src_side
+    end
+    else begin
+      (* Destination half. Arbitrator at the lower node [b], height
+         (n - 1 - (i + 1)) above dst. *)
+      let h = n - 1 - (i + 1) in
+      let is_core_link = lv i = 3 in
+      if t.cfg.Config.delegation && (not t.cfg.Config.local_only) && is_core_link
+      then begin
+        let tor = path.(n - 2) in
+        let arb = virtual_arb t (a, b) tor in
+        dst_side := (1, arb) :: !dst_side
+      end
+      else dst_side := (h, real_arb t a b) :: !dst_side
+    end
+  done;
+  (* Merge same-height contacts (e.g. a delegated virtual link rides the
+     ToR contact for free). *)
+  let merge side ~extra_latency =
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun (h, arb) ->
+        let cur = try Hashtbl.find tbl h with Not_found -> [] in
+        Hashtbl.replace tbl h (arb :: cur))
+      side;
+    Hashtbl.fold
+      (fun h arbs acc ->
+        {
+          arbs;
+          msgs = 2;
+          latency = extra_latency +. (2. *. float_of_int h *. delay) +. proc;
+        }
+        :: acc)
+      tbl []
+    |> List.sort (fun a b -> compare a.latency b.latency)
+  in
+  let local arbs ~latency =
+    match arbs with [] -> [] | l -> [ { arbs = l; msgs = 0; latency } ]
+  in
+  let contacts =
+    local !src_local ~latency:proc
+    @ merge !src_side ~extra_latency:0.
+    @ local !dst_local ~latency:(one_way +. proc)
+    @ merge !dst_side ~extra_latency:one_way
+  in
+  let contacts =
+    if t.cfg.Config.local_only then List.filter (fun c -> c.msgs = 0) contacts
+    else contacts
+  in
+  Array.of_list contacts
+
+let all_arbitrators t =
+  let acc = ref [] in
+  Hashtbl.iter (fun _ a -> acc := a :: !acc) t.real;
+  Hashtbl.iter (fun _ a -> acc := a :: !acc) t.virtuals;
+  !acc
+
+(* One arbitration round: refresh (phase A), re-arbitrate (phase B), combine
+   and deliver (phase C). Pruning decisions use the previous round's queue
+   assignments, matching the one-round information lag of real messages. *)
+let round t =
+  t.rounds <- t.rounds + 1;
+  let now = Engine.now t.engine in
+  (* Phase A: refresh arbitrator state along each flow's contact chain. *)
+  Hashtbl.iter
+    (fun _ fs ->
+      let criterion = fs.criterion () in
+      let demand = fs.demand () in
+      fs.pruned <- false;
+      let q_acc = ref 0 in
+      Array.iteri
+        (fun i ct ->
+          let pruned =
+            t.cfg.Config.early_pruning && !q_acc >= t.cfg.Config.prune_top_k
+          in
+          if pruned then begin
+            fs.contacted.(i) <- false;
+            fs.pruned <- true;
+            (* Stop holding state upstream: emulate soft-state expiry. *)
+            List.iter
+              (fun arb ->
+                if Arbitrator.mem arb ~flow:fs.flow.Flow.id then
+                  Arbitrator.remove arb ~flow:fs.flow.Flow.id)
+              ct.arbs
+          end
+          else begin
+            t.counters.Counters.ctrl_msgs <-
+              t.counters.Counters.ctrl_msgs + ct.msgs;
+            (* Failure injection: a lost request or response simply means
+               this contact contributes nothing this round; the soft state
+               it previously established survives until expiry. *)
+            let lost =
+              ct.msgs > 0
+              && t.cfg.Config.ctrl_loss_prob > 0.
+              && Rng.float t.rng 1.0 < t.cfg.Config.ctrl_loss_prob
+            in
+            if lost then fs.contacted.(i) <- false
+            else begin
+              fs.contacted.(i) <- true;
+              List.iter
+                (fun arb ->
+                  Arbitrator.upsert arb ~flow:fs.flow.Flow.id ~criterion
+                    ~demand_bps:demand ~now;
+                  match Arbitrator.cached arb ~flow:fs.flow.Flow.id with
+                  | Some (q, _) -> q_acc := max !q_acc q
+                  | None -> ())
+                ct.arbs
+            end
+          end)
+        fs.contacts)
+    t.flows;
+  (* Phase B: expire soft state that stopped being refreshed, then every
+     arbitrator re-runs Algorithm 1 over its flow set. *)
+  let max_age =
+    float_of_int t.cfg.Config.state_expiry_rounds *. t.cfg.Config.arb_period
+  in
+  List.iter
+    (fun arb ->
+      Arbitrator.expire arb ~now ~max_age;
+      Arbitrator.arbitrate arb ~num_queues:t.cfg.Config.num_queues
+        ~base_rate_bps:t.base_rate_bps)
+    (all_arbitrators t);
+  (* Phase C: combine per-link decisions and deliver after control latency. *)
+  Hashtbl.iter
+    (fun _ fs ->
+      (* A pruned flow has no fresh upstream info: it keeps (at least) its
+         previous queue. Fully-arbitrated flows take the fresh decision, so
+         they can be promoted when higher-priority flows drain. *)
+      let finalize q =
+        let q = if fs.pruned then max q fs.last_queue else q in
+        min q (t.cfg.Config.num_queues - 1)
+      in
+      let flow_id = fs.flow.Flow.id in
+      (* Collect per-contact results ordered by response latency. *)
+      let responses =
+        let acc = ref [] in
+        Array.iteri
+          (fun i ct ->
+            if fs.contacted.(i) then begin
+              let cq = ref 0 and cr = ref infinity in
+              List.iter
+                (fun arb ->
+                  match Arbitrator.cached arb ~flow:fs.flow.Flow.id with
+                  | Some (ql, rl) ->
+                      cq := max !cq ql;
+                      cr := Float.min !cr rl
+                  | None -> ())
+                ct.arbs;
+              acc := (ct.latency, !cq, !cr) :: !acc
+            end)
+          fs.contacts;
+        List.sort (fun (a, _, _) (b, _, _) -> compare a b) !acc
+      in
+      let schedule_apply ~delay ~queue ~rref ~final =
+        let rref = if rref = infinity then t.base_rate_bps else rref in
+        Engine.schedule t.engine ~delay (fun () ->
+            match Hashtbl.find_opt t.flows flow_id with
+            | Some fs ->
+                if final then fs.last_queue <- queue;
+                fs.apply ~queue ~rref_bps:rref
+            | None -> ())
+      in
+      (match responses with
+      | [] -> ()
+      | _ ->
+          let n = List.length responses in
+          if fs.first_round then begin
+            (* Progressive refinement: apply the cumulative decision as each
+               response arrives; only the last one is sticky. *)
+            fs.first_round <- false;
+            let cq = ref 0 and cr = ref infinity in
+            List.iteri
+              (fun i (lat, q, r) ->
+                cq := max !cq q;
+                cr := Float.min !cr r;
+                let final = i = n - 1 in
+                schedule_apply ~delay:lat ~queue:(finalize !cq) ~rref:!cr ~final)
+              responses
+          end
+          else begin
+            let lat, cq, cr =
+              List.fold_left
+                (fun (lat, cq, cr) (l, q, r) ->
+                  (Float.max lat l, Stdlib.max cq q, Float.min cr r))
+                (0., 0, infinity) responses
+            in
+            schedule_apply ~delay:lat ~queue:(finalize cq) ~rref:cr ~final:true
+          end))
+    t.flows
+
+let rec tick t ~next_rebalance =
+  if t.running then begin
+    round t;
+    let next_rebalance =
+      if
+        t.cfg.Config.delegation
+        && Engine.now t.engine >= next_rebalance
+      then begin
+        rebalance t;
+        Engine.now t.engine +. t.cfg.Config.delegation_period
+      end
+      else next_rebalance
+    in
+    Engine.schedule t.engine ~delay:t.cfg.Config.arb_period (fun () ->
+        tick t ~next_rebalance)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    tick t ~next_rebalance:(Engine.now t.engine +. t.cfg.Config.delegation_period)
+  end
+
+let stop t = t.running <- false
+
+let add_flow t ~flow ~criterion ~demand ~apply =
+  let contacts = build_contacts t ~flow in
+  let fs =
+    {
+      flow;
+      contacts;
+      criterion;
+      demand;
+      apply;
+      last_queue = 0;
+      contacted = Array.make (Array.length contacts) false;
+      pruned = false;
+      first_round = true;
+    }
+  in
+  Hashtbl.replace t.flows flow.Flow.id fs;
+  (* Immediate local decision so the flow starts without waiting (§3.1.2):
+     consult only the source-local contact synchronously. *)
+  (match Array.length contacts with
+  | 0 -> apply ~queue:0 ~rref_bps:t.base_rate_bps
+  | _ ->
+      let ct = contacts.(0) in
+      let now = Engine.now t.engine in
+      let q = ref 0 and rref = ref infinity in
+      List.iter
+        (fun arb ->
+          Arbitrator.upsert arb ~flow:flow.Flow.id ~criterion:(criterion ())
+            ~demand_bps:(demand ()) ~now;
+          Arbitrator.arbitrate arb ~num_queues:t.cfg.Config.num_queues
+            ~base_rate_bps:t.base_rate_bps;
+          match Arbitrator.cached arb ~flow:flow.Flow.id with
+          | Some (ql, rl) ->
+              q := max !q ql;
+              rref := Float.min !rref rl
+          | None -> ())
+        ct.arbs;
+      fs.last_queue <- !q;
+      let rref = if !rref = infinity then t.base_rate_bps else !rref in
+      apply ~queue:!q ~rref_bps:rref)
+
+let remove_flow t ~flow_id =
+  match Hashtbl.find_opt t.flows flow_id with
+  | None -> ()
+  | Some fs ->
+      Array.iter
+        (fun ct -> List.iter (fun arb -> Arbitrator.remove arb ~flow:flow_id) ct.arbs)
+        fs.contacts;
+      Hashtbl.remove t.flows flow_id

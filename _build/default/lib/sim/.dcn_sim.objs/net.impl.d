@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Counters Engine Hashtbl Int64 Link List Packet Queue

@@ -1,0 +1,1 @@
+lib/sim/net.mli: Counters Engine Link Packet Queue_disc

@@ -1,0 +1,1 @@
+lib/sim/pfabric_queue.ml: Array Packet Queue_disc

@@ -1,0 +1,1 @@
+lib/sim/pfabric_queue.mli: Counters Queue_disc

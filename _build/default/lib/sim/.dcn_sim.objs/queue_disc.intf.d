@@ -1,0 +1,1 @@
+lib/sim/queue_disc.mli: Counters Packet

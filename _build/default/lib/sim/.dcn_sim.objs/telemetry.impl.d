@@ -1,0 +1,1 @@
+lib/sim/telemetry.ml: Engine Float Link List Queue_disc

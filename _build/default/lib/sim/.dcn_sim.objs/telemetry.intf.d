@@ -1,0 +1,1 @@
+lib/sim/telemetry.mli: Engine Link

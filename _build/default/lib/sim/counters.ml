@@ -1,0 +1,46 @@
+type t = {
+  mutable enqueued_pkts : int;
+  mutable enqueued_bytes : int;
+  mutable dequeued_pkts : int;
+  mutable dequeued_bytes : int;
+  mutable dropped_pkts : int;
+  mutable dropped_bytes : int;
+  mutable dropped_data_pkts : int;
+  mutable ecn_marked_pkts : int;
+  mutable delivered_pkts : int;
+  mutable ctrl_msgs : int;
+  mutable stray_pkts : int;
+}
+
+let create () =
+  {
+    enqueued_pkts = 0;
+    enqueued_bytes = 0;
+    dequeued_pkts = 0;
+    dequeued_bytes = 0;
+    dropped_pkts = 0;
+    dropped_bytes = 0;
+    dropped_data_pkts = 0;
+    ecn_marked_pkts = 0;
+    delivered_pkts = 0;
+    ctrl_msgs = 0;
+    stray_pkts = 0;
+  }
+
+let reset t =
+  t.enqueued_pkts <- 0;
+  t.enqueued_bytes <- 0;
+  t.dequeued_pkts <- 0;
+  t.dequeued_bytes <- 0;
+  t.dropped_pkts <- 0;
+  t.dropped_bytes <- 0;
+  t.dropped_data_pkts <- 0;
+  t.ecn_marked_pkts <- 0;
+  t.delivered_pkts <- 0;
+  t.ctrl_msgs <- 0;
+  t.stray_pkts <- 0
+
+let loss_rate t =
+  let attempts = t.dropped_pkts + t.enqueued_pkts in
+  if attempts = 0 then 0.
+  else float_of_int t.dropped_pkts /. float_of_int attempts

@@ -1,0 +1,21 @@
+(** Global per-simulation counters used for loss-rate and overhead metrics. *)
+
+type t = {
+  mutable enqueued_pkts : int;
+  mutable enqueued_bytes : int;
+  mutable dequeued_pkts : int;
+  mutable dequeued_bytes : int;
+  mutable dropped_pkts : int;
+  mutable dropped_bytes : int;
+  mutable dropped_data_pkts : int;  (** drops of [Data] packets only *)
+  mutable ecn_marked_pkts : int;
+  mutable delivered_pkts : int;
+  mutable ctrl_msgs : int;  (** arbitration / explicit-rate control messages *)
+  mutable stray_pkts : int;  (** packets delivered with no registered handler *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Fraction of enqueued data-plane packets that were dropped, in [0, 1]. *)
+val loss_rate : t -> float

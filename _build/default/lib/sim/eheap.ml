@@ -1,0 +1,66 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.arr in
+  let ncap = if cap = 0 then 64 else cap * 2 in
+  (* The placeholder below is never read: slots >= len are dead. *)
+  let narr = Array.make ncap t.arr.(0) in
+  Array.blit t.arr 0 narr 0 t.len;
+  t.arr <- narr
+
+let add t ~time ~seq value =
+  let e = { time; seq; value } in
+  if t.len = 0 && Array.length t.arr = 0 then t.arr <- Array.make 64 e;
+  if t.len = Array.length t.arr then grow t;
+  t.arr.(t.len) <- e;
+  t.len <- t.len + 1;
+  (* Sift up. *)
+  let i = ref (t.len - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less t.arr.(!i) t.arr.(parent) then begin
+      let tmp = t.arr.(parent) in
+      t.arr.(parent) <- t.arr.(!i);
+      t.arr.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.arr.(0) <- t.arr.(t.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && less t.arr.(l) t.arr.(!smallest) then smallest := l;
+        if r < t.len && less t.arr.(r) t.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.arr.(!smallest) in
+          t.arr.(!smallest) <- t.arr.(!i);
+          t.arr.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.arr.(0).time
+let size t = t.len
+let is_empty t = t.len = 0

@@ -1,0 +1,19 @@
+(** Binary min-heap keyed by [(time, seq)], used as the simulator's event
+    queue. Ties on [time] break on insertion order ([seq]), giving the
+    engine FIFO semantics for simultaneous events. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add t ~time ~seq v] inserts [v] with key [(time, seq)]. *)
+val add : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** [pop t] removes and returns the minimum element, or [None] if empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek_time t] returns the key of the minimum element without removal. *)
+val peek_time : 'a t -> float option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,66 @@
+type event = { fn : unit -> unit; mutable live : bool }
+
+type t = {
+  heap : event Eheap.t;
+  mutable time : float;
+  mutable seq : int;
+  mutable processed : int;
+  mutable stopped : bool;
+}
+
+type cancel = unit -> unit
+
+let create () =
+  { heap = Eheap.create (); time = 0.; seq = 0; processed = 0; stopped = false }
+
+let now t = t.time
+
+let schedule_at t ~time fn =
+  if time < t.time then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time
+         t.time);
+  let e = { fn; live = true } in
+  Eheap.add t.heap ~time ~seq:t.seq e;
+  t.seq <- t.seq + 1
+
+let schedule t ~delay fn =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.time +. delay) fn
+
+let schedule_cancellable t ~delay fn =
+  if delay < 0. then invalid_arg "Engine.schedule_cancellable: negative delay";
+  let e = { fn; live = true } in
+  Eheap.add t.heap ~time:(t.time +. delay) ~seq:t.seq e;
+  t.seq <- t.seq + 1;
+  fun () -> e.live <- false
+
+let run ?until ?max_events t =
+  t.stopped <- false;
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue = ref true in
+  while !continue && not t.stopped do
+    match Eheap.pop t.heap with
+    | None -> continue := false
+    | Some (time, e) ->
+        if not e.live then ()
+        else begin
+          (match until with
+          | Some horizon when time > horizon ->
+              (* Push the event back and stop: it belongs to the future. *)
+              let seq = t.seq in
+              t.seq <- seq + 1;
+              Eheap.add t.heap ~time ~seq e;
+              continue := false
+          | _ ->
+              t.time <- time;
+              t.processed <- t.processed + 1;
+              e.fn ();
+              decr budget;
+              if !budget <= 0 then continue := false)
+        end
+  done
+
+let stop t = t.stopped <- true
+let events_processed t = t.processed
+let pending t = Eheap.size t.heap

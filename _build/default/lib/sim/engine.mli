@@ -1,0 +1,41 @@
+(** Discrete-event simulation engine.
+
+    The engine owns virtual time. Events are thunks scheduled at absolute or
+    relative times; [run] executes them in [(time, insertion-order)] order
+    until the queue drains, a stop condition triggers, or [stop] is called
+    from within an event. *)
+
+type t
+
+(** A handle that cancels a scheduled event when invoked. Cancelling an
+    already-fired or already-cancelled event is a no-op. *)
+type cancel = unit -> unit
+
+val create : unit -> t
+
+(** [now t] is the current virtual time in seconds. *)
+val now : t -> float
+
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
+    non-negative. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** [schedule_at t ~time f] runs [f] at absolute [time >= now t]. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+(** Like [schedule], returning a cancellation handle. *)
+val schedule_cancellable : t -> delay:float -> (unit -> unit) -> cancel
+
+(** [run ?until ?max_events t] processes events in order. Stops when the
+    queue is empty, when virtual time would exceed [until], or after
+    [max_events] events. *)
+val run : ?until:float -> ?max_events:int -> t -> unit
+
+(** [stop t] makes [run] return after the current event completes. *)
+val stop : t -> unit
+
+(** Number of events executed so far (cancelled events are not counted). *)
+val events_processed : t -> int
+
+(** Number of events currently pending (including cancelled-but-unreaped). *)
+val pending : t -> int

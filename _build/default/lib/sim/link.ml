@@ -1,0 +1,37 @@
+type t = {
+  engine : Engine.t;
+  qdisc : Queue_disc.t;
+  rate_bps : float;
+  delay_s : float;
+  deliver : Packet.t -> unit;
+  mutable busy : bool;
+  mutable bytes_txed : int;
+}
+
+let create engine ~qdisc ~rate_bps ~delay_s ~deliver =
+  if rate_bps <= 0. then invalid_arg "Link.create: rate must be positive";
+  if delay_s < 0. then invalid_arg "Link.create: negative delay";
+  { engine; qdisc; rate_bps; delay_s; deliver; busy = false; bytes_txed = 0 }
+
+let rec transmit_next t =
+  match t.qdisc.Queue_disc.dequeue () with
+  | None -> t.busy <- false
+  | Some pkt ->
+      t.busy <- true;
+      let tx_time = float_of_int (8 * pkt.Packet.size) /. t.rate_bps in
+      Engine.schedule t.engine ~delay:tx_time (fun () ->
+          t.bytes_txed <- t.bytes_txed + pkt.Packet.size;
+          (* Propagation: the head bit pipeline is folded into arrival time;
+             the transmitter is free as soon as the last bit leaves. *)
+          Engine.schedule t.engine ~delay:t.delay_s (fun () -> t.deliver pkt);
+          transmit_next t)
+
+let send t pkt =
+  t.qdisc.Queue_disc.enqueue pkt;
+  if not t.busy then transmit_next t
+
+let rate_bps t = t.rate_bps
+let delay_s t = t.delay_s
+let qdisc t = t.qdisc
+let bytes_txed t = t.bytes_txed
+let busy t = t.busy

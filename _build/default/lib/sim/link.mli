@@ -1,0 +1,26 @@
+(** Unidirectional link: a queue discipline drained at a fixed rate, followed
+    by a propagation delay. Store-and-forward: a packet's transmission takes
+    [8 * size / rate] seconds, after which it arrives [delay] seconds later
+    at the receiving end's [deliver] callback. *)
+
+type t
+
+val create :
+  Engine.t ->
+  qdisc:Queue_disc.t ->
+  rate_bps:float ->
+  delay_s:float ->
+  deliver:(Packet.t -> unit) ->
+  t
+
+(** [send t pkt] enqueues [pkt] and starts the transmitter if idle. *)
+val send : t -> Packet.t -> unit
+
+val rate_bps : t -> float
+val delay_s : t -> float
+val qdisc : t -> Queue_disc.t
+
+(** Total bytes fully transmitted so far (utilization accounting). *)
+val bytes_txed : t -> int
+
+val busy : t -> bool

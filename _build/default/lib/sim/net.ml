@@ -1,0 +1,180 @@
+type node_kind = Host | Switch
+
+type t = {
+  engine : Engine.t;
+  counters : Counters.t;
+  mutable kinds : node_kind array;
+  mutable n : int;
+  adjacency : (int, (int * Link.t) list ref) Hashtbl.t;
+      (* node -> outgoing (neighbour, link) *)
+  directed : (int * int, Link.t) Hashtbl.t;
+  handlers : (int * int, Packet.t -> unit) Hashtbl.t;
+  mutable next_hops : int array array array;
+      (* next_hops.(node).(dst) = equal-cost next hops, [||] if unreachable *)
+  mutable finalized : bool;
+}
+
+let create engine counters =
+  {
+    engine;
+    counters;
+    kinds = Array.make 16 Host;
+    n = 0;
+    adjacency = Hashtbl.create 64;
+    directed = Hashtbl.create 64;
+    handlers = Hashtbl.create 256;
+    next_hops = [||];
+    finalized = false;
+  }
+
+let engine t = t.engine
+let counters t = t.counters
+
+let add_node t kind =
+  if t.finalized then invalid_arg "Net: cannot add nodes after finalize";
+  if t.n = Array.length t.kinds then begin
+    let narr = Array.make (2 * t.n) Host in
+    Array.blit t.kinds 0 narr 0 t.n;
+    t.kinds <- narr
+  end;
+  t.kinds.(t.n) <- kind;
+  let id = t.n in
+  t.n <- t.n + 1;
+  Hashtbl.replace t.adjacency id (ref []);
+  id
+
+let add_host t = add_node t Host
+let add_switch t = add_node t Switch
+let node_kind t i = t.kinds.(i)
+let node_count t = t.n
+
+(* Per-flow ECMP: among equal-cost next hops, a flow always picks the same
+   one (SplitMix64 finalizer of the flow id as the hash). *)
+let flow_hash flow =
+  let z = Int64.of_int (flow + 0x9E3779B9) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31)) land max_int
+
+let pick_next_hop t ~flow node dst =
+  let hops = t.next_hops.(node).(dst) in
+  let n = Array.length hops in
+  if n = 0 then None
+  else if n = 1 then Some hops.(0)
+  else
+    (* Salt with the switch id: per-hop hashes must be independent or
+       multi-stage fabrics use only a correlated subset of their paths. *)
+    Some hops.(flow_hash ((flow * 0x3779) lxor (node * 0x9e41)) mod n)
+
+(* Forward declaration cycle: delivery needs routing which needs links. We
+   route inside [deliver] by consulting the table built at [finalize]. *)
+let rec deliver t pkt node =
+  if node = pkt.Packet.dst then begin
+    t.counters.Counters.delivered_pkts <- t.counters.Counters.delivered_pkts + 1;
+    match Hashtbl.find_opt t.handlers (node, pkt.Packet.flow) with
+    | Some f -> f pkt
+    | None -> t.counters.Counters.stray_pkts <- t.counters.Counters.stray_pkts + 1
+  end
+  else forward t pkt node
+
+and forward t pkt node =
+  match pick_next_hop t ~flow:pkt.Packet.flow node pkt.Packet.dst with
+  | None -> t.counters.Counters.stray_pkts <- t.counters.Counters.stray_pkts + 1
+  | Some nh -> (
+      match Hashtbl.find_opt t.directed (node, nh) with
+      | Some link -> Link.send link pkt
+      | None -> assert false)
+
+let connect t a b ~rate_bps ~delay_s ~qdisc =
+  if t.finalized then invalid_arg "Net: cannot connect after finalize";
+  let mk from to_ =
+    let link =
+      Link.create t.engine ~qdisc:(qdisc ()) ~rate_bps ~delay_s
+        ~deliver:(fun pkt -> deliver t pkt to_)
+    in
+    Hashtbl.replace t.directed (from, to_) link;
+    let adj = Hashtbl.find t.adjacency from in
+    adj := (to_, link) :: !adj
+  in
+  mk a b;
+  mk b a
+
+let finalize t =
+  if t.finalized then invalid_arg "Net.finalize: already finalized";
+  t.finalized <- true;
+  let n = t.n in
+  t.next_hops <- Array.init n (fun _ -> Array.make n [||]);
+  (* BFS from each destination over the (symmetric) adjacency; record, for
+     every node, ALL neighbours on shortest paths toward dst (equal-cost
+     multipath). Neighbour lists are sorted for determinism. *)
+  let neighbours =
+    Array.init n (fun i ->
+        let adj = !(Hashtbl.find t.adjacency i) in
+        List.sort compare (List.map fst adj))
+  in
+  for dst = 0 to n - 1 do
+    let dist = Array.make n max_int in
+    dist.(dst) <- 0;
+    let q = Queue.create () in
+    Queue.push dst q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.push v q
+          end)
+        neighbours.(u)
+    done;
+    for v = 0 to n - 1 do
+      if v <> dst && dist.(v) < max_int then
+        t.next_hops.(v).(dst) <-
+          Array.of_list
+            (List.filter (fun u -> dist.(u) = dist.(v) - 1) neighbours.(v))
+    done
+  done
+
+let send t pkt =
+  let src = pkt.Packet.src in
+  if src = pkt.Packet.dst then deliver t pkt src else forward t pkt src
+
+let register_flow t ~host ~flow f = Hashtbl.replace t.handlers (host, flow) f
+let unregister_flow t ~host ~flow = Hashtbl.remove t.handlers (host, flow)
+
+let route t ?(flow = 0) ~src ~dst () =
+  let rec go node acc =
+    if node = dst then List.rev (node :: acc)
+    else
+      match pick_next_hop t ~flow node dst with
+      | None -> invalid_arg "Net.route: no path"
+      | Some nh -> go nh (node :: acc)
+  in
+  go src []
+
+let path_count t ~src ~dst =
+  (* Number of distinct shortest paths (product of fanouts is an upper
+     bound; count exactly by DP over the DAG). *)
+  let memo = Hashtbl.create 16 in
+  let rec count node =
+    if node = dst then 1
+    else
+      match Hashtbl.find_opt memo node with
+      | Some c -> c
+      | None ->
+          let c =
+            Array.fold_left
+              (fun acc nh -> acc + count nh)
+              0
+              t.next_hops.(node).(dst)
+          in
+          Hashtbl.replace memo node c;
+          c
+  in
+  count src
+
+let link_from t a b = Hashtbl.find_opt t.directed (a, b)
+
+let links t =
+  Hashtbl.fold (fun (a, b) l acc -> (a, b, l) :: acc) t.directed []
+  |> List.sort (fun (a, b, _) (c, d, _) -> compare (a, b) (c, d))

@@ -1,0 +1,60 @@
+type kind = Data | Ack | Probe | Probe_ack | Ctrl
+
+type t = {
+  id : int;
+  flow : int;
+  src : int;
+  dst : int;
+  kind : kind;
+  size : int;
+  seq : int;
+  ack : int;
+  sack : int;
+  mutable prio : float;
+  mutable tos : int;
+  mutable ecn_capable : bool;
+  mutable ecn_ce : bool;
+  ecn_echo : bool;
+  sent_at : float;
+}
+
+let header_bytes = 40
+let ack_bytes = 40
+let probe_bytes = 40
+let ctrl_bytes = 64
+
+let next_id = ref 0
+let reset_ids () = next_id := 0
+
+let make ~flow ~src ~dst ~kind ~size ~seq ?(ack = -1) ?(sack = -1) ?(prio = 0.)
+    ?(tos = 0) ?(ecn_capable = true) ?(ecn_echo = false) ~sent_at () =
+  let id = !next_id in
+  incr next_id;
+  {
+    id;
+    flow;
+    src;
+    dst;
+    kind;
+    size;
+    seq;
+    ack;
+    sack;
+    prio;
+    tos;
+    ecn_capable;
+    ecn_ce = false;
+    ecn_echo;
+    sent_at;
+  }
+
+let kind_str = function
+  | Data -> "data"
+  | Ack -> "ack"
+  | Probe -> "probe"
+  | Probe_ack -> "probe-ack"
+  | Ctrl -> "ctrl"
+
+let pp fmt p =
+  Format.fprintf fmt "#%d %s flow=%d %d->%d seq=%d ack=%d size=%d tos=%d prio=%g"
+    p.id (kind_str p.kind) p.flow p.src p.dst p.seq p.ack p.size p.tos p.prio

@@ -1,0 +1,61 @@
+(** Simulated packets.
+
+    A packet is mutable only in the fields that switches rewrite (ECN mark)
+    or that the sender stamps per transmission (priority, queue band). *)
+
+type kind =
+  | Data  (** payload-carrying segment *)
+  | Ack  (** acknowledgement; [ack]/[sack] carry cumulative and selective acks *)
+  | Probe  (** header-only loss-recovery probe (PASE §3.2, pFabric probe mode) *)
+  | Probe_ack  (** receiver response to a [Probe] *)
+  | Ctrl  (** control-plane message (arbitration, PDQ rate updates) *)
+
+type t = {
+  id : int;  (** globally unique per engine run *)
+  flow : int;  (** flow identifier *)
+  src : int;  (** originating host node id *)
+  dst : int;  (** destination host node id *)
+  kind : kind;
+  size : int;  (** bytes on the wire, headers included *)
+  seq : int;  (** data: segment index; probe: probed segment index *)
+  ack : int;  (** acks: cumulative ack (first unreceived segment index) *)
+  sack : int;  (** acks: the specific segment this ack acknowledges, or -1 *)
+  mutable prio : float;
+      (** in-network priority; lower is more important (pFabric: remaining
+          size in segments) *)
+  mutable tos : int;  (** priority-queue band index; 0 is the highest band *)
+  mutable ecn_capable : bool;
+  mutable ecn_ce : bool;  (** congestion-experienced mark, set by queues *)
+  ecn_echo : bool;  (** acks: echo of the data packet's CE mark *)
+  sent_at : float;  (** time the packet entered the network at its source *)
+}
+
+(** Header-only sizes in bytes. *)
+val header_bytes : int
+
+val ack_bytes : int
+val probe_bytes : int
+val ctrl_bytes : int
+
+(** [reset_ids ()] restarts the id counter (call between independent runs
+    for reproducibility of ids; behaviour never depends on ids). *)
+val reset_ids : unit -> unit
+
+val make :
+  flow:int ->
+  src:int ->
+  dst:int ->
+  kind:kind ->
+  size:int ->
+  seq:int ->
+  ?ack:int ->
+  ?sack:int ->
+  ?prio:float ->
+  ?tos:int ->
+  ?ecn_capable:bool ->
+  ?ecn_echo:bool ->
+  sent_at:float ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit

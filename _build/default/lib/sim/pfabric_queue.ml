@@ -1,0 +1,95 @@
+(* Buffer as a growable array of packet options; holes are compacted lazily
+   by swapping with the last live element on removal. Order information
+   needed for starvation avoidance comes from packet seq numbers, not from
+   buffer position. *)
+
+type buf = { mutable items : Packet.t option array; mutable len : int }
+
+let buf_create limit = { items = Array.make (max limit 1) None; len = 0 }
+
+let buf_add b pkt =
+  b.items.(b.len) <- Some pkt;
+  b.len <- b.len + 1
+
+let buf_remove b i =
+  let last = b.len - 1 in
+  b.items.(i) <- b.items.(last);
+  b.items.(last) <- None;
+  b.len <- last
+
+let buf_get b i = match b.items.(i) with Some p -> p | None -> assert false
+
+let create counters ~limit_pkts =
+  let b = buf_create limit_pkts in
+  let bytes = ref 0 in
+  (* Index of the buffered packet with the worst (largest) priority value;
+     ties broken toward later seq so we evict the youngest of the worst
+     flow's packets first. *)
+  let worst_index () =
+    let best = ref (-1) in
+    for i = 0 to b.len - 1 do
+      let p = buf_get b i in
+      match !best with
+      | -1 -> best := i
+      | j ->
+          let q = buf_get b j in
+          if
+            p.Packet.prio > q.Packet.prio
+            || (p.Packet.prio = q.Packet.prio && p.Packet.seq > q.Packet.seq)
+          then best := i
+    done;
+    !best
+  in
+  let enqueue pkt =
+    if b.len >= limit_pkts then begin
+      let w = worst_index () in
+      if w >= 0 && (buf_get b w).Packet.prio > pkt.Packet.prio then begin
+        let victim = buf_get b w in
+        buf_remove b w;
+        bytes := !bytes - victim.Packet.size;
+        Queue_disc.count_drop counters victim;
+        buf_add b pkt;
+        bytes := !bytes + pkt.Packet.size;
+        Queue_disc.count_enqueue counters pkt
+      end
+      else Queue_disc.count_drop counters pkt
+    end
+    else begin
+      buf_add b pkt;
+      bytes := !bytes + pkt.Packet.size;
+      Queue_disc.count_enqueue counters pkt
+    end
+  in
+  let dequeue () =
+    if b.len = 0 then None
+    else begin
+      (* Find the most important packet, then the earliest segment of its
+         flow (starvation avoidance keeps per-flow delivery in order). *)
+      let best = ref 0 in
+      for i = 1 to b.len - 1 do
+        let p = buf_get b i and q = buf_get b !best in
+        if
+          p.Packet.prio < q.Packet.prio
+          || (p.Packet.prio = q.Packet.prio && p.Packet.seq < q.Packet.seq)
+        then best := i
+      done;
+      let chosen_flow = (buf_get b !best).Packet.flow in
+      let pick = ref !best in
+      for i = 0 to b.len - 1 do
+        let p = buf_get b i in
+        if p.Packet.flow = chosen_flow && p.Packet.seq < (buf_get b !pick).Packet.seq
+        then pick := i
+      done;
+      let pkt = buf_get b !pick in
+      buf_remove b !pick;
+      bytes := !bytes - pkt.Packet.size;
+      Queue_disc.count_dequeue counters pkt;
+      Some pkt
+    end
+  in
+  {
+    Queue_disc.enqueue;
+    dequeue;
+    pkts = (fun () -> b.len);
+    bytes = (fun () -> !bytes);
+  }

@@ -1,0 +1,14 @@
+(** pFabric switch port queue (Alizadeh et al., SIGCOMM'13).
+
+    Scheduling: dequeue the packet whose flow holds the numerically lowest
+    [prio] (most important) anywhere in the buffer, then — for starvation
+    avoidance — transmit that flow's {e earliest} buffered segment.
+
+    Dropping: when the buffer is full and the arriving packet has strictly
+    lower [prio] (higher importance) than the worst buffered packet, the
+    worst buffered packet is evicted; otherwise the arrival is dropped.
+
+    The buffer is tiny in pFabric (≈ 2 × BDP), so linear scans are exact and
+    cheap. *)
+
+val create : Counters.t -> limit_pkts:int -> Queue_disc.t

@@ -1,0 +1,81 @@
+let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
+  if bands <= 0 then invalid_arg "Prio_queue.create: bands must be positive";
+  let qs : Packet.t Queue.t array = Array.init bands (fun _ -> Queue.create ()) in
+  let total = ref 0 in
+  let bytes = ref 0 in
+  let band_of (pkt : Packet.t) =
+    let b = pkt.Packet.tos in
+    if b < 0 then 0 else if b >= bands then bands - 1 else b
+  in
+  (* Evict one packet from the lowest-priority non-empty band strictly below
+     [band] (i.e., with a larger index). Returns true on success. *)
+  let push_out_below band =
+    let rec scan i =
+      if i <= band then false
+      else if not (Queue.is_empty qs.(i)) then begin
+        (* Drop from the tail-most position we can reach cheaply: the band is
+           FIFO, so dropping its most recent arrival preserves in-order
+           delivery of older packets. Queue has no tail removal; rotate. *)
+        let n = Queue.length qs.(i) in
+        let victim = ref None in
+        for j = 0 to n - 1 do
+          let p = Queue.pop qs.(i) in
+          if j = n - 1 then victim := Some p else Queue.push p qs.(i)
+        done;
+        (match !victim with
+        | Some p ->
+            total := !total - 1;
+            bytes := !bytes - p.Packet.size;
+            Queue_disc.count_drop counters p
+        | None -> assert false);
+        true
+      end
+      else scan (i - 1)
+    in
+    scan (bands - 1)
+  in
+  let enqueue pkt =
+    let band = band_of pkt in
+    let admitted =
+      if !total < limit_pkts then true
+      else push_out_below band
+    in
+    if not admitted then Queue_disc.count_drop counters pkt
+    else begin
+      if pkt.Packet.ecn_capable && Queue.length qs.(band) >= mark_threshold
+      then begin
+        pkt.Packet.ecn_ce <- true;
+        counters.Counters.ecn_marked_pkts <- counters.Counters.ecn_marked_pkts + 1
+      end;
+      Queue.push pkt qs.(band);
+      total := !total + 1;
+      bytes := !bytes + pkt.Packet.size;
+      Queue_disc.count_enqueue counters pkt
+    end
+  in
+  let dequeue () =
+    let rec scan i =
+      if i >= bands then None
+      else
+        match Queue.take_opt qs.(i) with
+        | Some pkt ->
+            total := !total - 1;
+            bytes := !bytes - pkt.Packet.size;
+            Queue_disc.count_dequeue counters pkt;
+            Some pkt
+        | None -> scan (i + 1)
+    in
+    scan 0
+  in
+  let disc =
+    {
+      Queue_disc.enqueue;
+      dequeue;
+      pkts = (fun () -> !total);
+      bytes = (fun () -> !bytes);
+    }
+  in
+  (disc, fun i -> Queue.length qs.(i))
+
+let create counters ~bands ~limit_pkts ~mark_threshold =
+  fst (create_with_inspect counters ~bands ~limit_pkts ~mark_threshold)

@@ -1,0 +1,53 @@
+type t = {
+  enqueue : Packet.t -> unit;
+  dequeue : unit -> Packet.t option;
+  pkts : unit -> int;
+  bytes : unit -> int;
+}
+
+let count_drop (c : Counters.t) (pkt : Packet.t) =
+  c.dropped_pkts <- c.dropped_pkts + 1;
+  c.dropped_bytes <- c.dropped_bytes + pkt.size;
+  match pkt.kind with
+  | Packet.Data -> c.dropped_data_pkts <- c.dropped_data_pkts + 1
+  | Packet.Ack | Packet.Probe | Packet.Probe_ack | Packet.Ctrl -> ()
+
+let count_enqueue (c : Counters.t) (pkt : Packet.t) =
+  c.enqueued_pkts <- c.enqueued_pkts + 1;
+  c.enqueued_bytes <- c.enqueued_bytes + pkt.size
+
+let count_dequeue (c : Counters.t) (pkt : Packet.t) =
+  c.dequeued_pkts <- c.dequeued_pkts + 1;
+  c.dequeued_bytes <- c.dequeued_bytes + pkt.size
+
+let fifo counters ~limit_pkts ~mark_threshold =
+  let q : Packet.t Queue.t = Queue.create () in
+  let bytes = ref 0 in
+  let enqueue pkt =
+    if Queue.length q >= limit_pkts then count_drop counters pkt
+    else begin
+      (match mark_threshold with
+      | Some k when pkt.Packet.ecn_capable && Queue.length q >= k ->
+          pkt.Packet.ecn_ce <- true;
+          counters.Counters.ecn_marked_pkts <-
+            counters.Counters.ecn_marked_pkts + 1
+      | _ -> ());
+      Queue.push pkt q;
+      bytes := !bytes + pkt.Packet.size;
+      count_enqueue counters pkt
+    end
+  in
+  let dequeue () =
+    match Queue.take_opt q with
+    | None -> None
+    | Some pkt ->
+        bytes := !bytes - pkt.Packet.size;
+        count_dequeue counters pkt;
+        Some pkt
+  in
+  { enqueue; dequeue; pkts = (fun () -> Queue.length q); bytes = (fun () -> !bytes) }
+
+let droptail counters ~limit_pkts = fifo counters ~limit_pkts ~mark_threshold:None
+
+let red_ecn counters ~limit_pkts ~mark_threshold =
+  fifo counters ~limit_pkts ~mark_threshold:(Some mark_threshold)

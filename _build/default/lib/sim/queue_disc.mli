@@ -1,0 +1,32 @@
+(** Queue disciplines attached to link transmit sides.
+
+    A discipline owns admission (it may drop on [enqueue]) and scheduling
+    (the order [dequeue] returns packets). Drops and ECN marks are recorded
+    in the supplied {!Counters.t}. *)
+
+type t = {
+  enqueue : Packet.t -> unit;
+  dequeue : unit -> Packet.t option;
+  pkts : unit -> int;  (** packets currently queued *)
+  bytes : unit -> int;  (** bytes currently queued *)
+}
+
+(** [droptail counters ~limit_pkts] is a FIFO that drops arrivals once
+    [limit_pkts] packets are queued. *)
+val droptail : Counters.t -> limit_pkts:int -> t
+
+(** [red_ecn counters ~limit_pkts ~mark_threshold] is a FIFO with DCTCP-style
+    marking: an arriving ECN-capable packet is CE-marked when the
+    instantaneous queue length is at least [mark_threshold] packets
+    (RED with min = max = K, as in the paper's implementation §3.3).
+    Non-ECN-capable packets are dropped instead of marked only on overflow. *)
+val red_ecn : Counters.t -> limit_pkts:int -> mark_threshold:int -> t
+
+(** Record a drop of [pkt] in [counters]; exposed for other disciplines. *)
+val count_drop : Counters.t -> Packet.t -> unit
+
+(** Record a successful enqueue of [pkt]. *)
+val count_enqueue : Counters.t -> Packet.t -> unit
+
+(** Record a dequeue of [pkt]. *)
+val count_dequeue : Counters.t -> Packet.t -> unit

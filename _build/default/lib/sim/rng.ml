@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to OCaml's native non-negative int range (Int64.to_int wraps). *)
+  let v = Int64.to_int (bits64 t) land max_int in
+  v mod n
+
+(* 53 uniformly distributed mantissa bits in [0, 1). *)
+let unit_float t =
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v *. 0x1p-53
+
+let float t x =
+  if x <= 0. then invalid_arg "Rng.float: bound must be positive";
+  unit_float t *. x
+
+let uniform t a b =
+  if a >= b then invalid_arg "Rng.uniform: empty interval";
+  a +. (unit_float t *. (b -. a))
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1. -. unit_float t in
+  -.mean *. log u
+
+let bool t = Int64.logand (bits64 t) 1L = 1L

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic component of the simulator draws from an explicit [t]
+    so that a simulation is reproducible from its seed alone. *)
+
+type t
+
+(** [create seed] returns a generator whose stream is fully determined by
+    [seed]. *)
+val create : int -> t
+
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+val split : t -> t
+
+(** [bits64 t] returns the next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** [int t n] draws uniformly from [0, n). Requires [n > 0]. *)
+val int : t -> int -> int
+
+(** [float t x] draws uniformly from [0, x). Requires [x > 0]. *)
+val float : t -> float -> float
+
+(** [uniform t a b] draws uniformly from [a, b). Requires [a < b]. *)
+val uniform : t -> float -> float -> float
+
+(** [exponential t ~mean] draws from an exponential distribution. *)
+val exponential : t -> mean:float -> float
+
+(** [bool t] draws a fair coin flip. *)
+val bool : t -> bool

@@ -1,0 +1,70 @@
+type sample = { time : float; utilization : float; queue_pkts : int }
+
+type tracked = {
+  label : string;
+  link : Link.t;
+  mutable last_bytes : int;
+  mutable samples : sample list;  (* newest first *)
+}
+
+type t = {
+  engine : Engine.t;
+  period : float;
+  tracked : tracked list;
+  mutable running : bool;
+}
+
+let rec tick t =
+  if t.running then begin
+    let now = Engine.now t.engine in
+    List.iter
+      (fun tr ->
+        let bytes = Link.bytes_txed tr.link in
+        let delta = bytes - tr.last_bytes in
+        tr.last_bytes <- bytes;
+        let capacity_bytes = Link.rate_bps tr.link *. t.period /. 8. in
+        let utilization =
+          if capacity_bytes <= 0. then 0.
+          else Float.min 1. (float_of_int delta /. capacity_bytes)
+        in
+        tr.samples <-
+          {
+            time = now;
+            utilization;
+            queue_pkts = (Link.qdisc tr.link).Queue_disc.pkts ();
+          }
+          :: tr.samples)
+      t.tracked;
+    Engine.schedule t.engine ~delay:t.period (fun () -> tick t)
+  end
+
+let create engine ~period links =
+  if period <= 0. then invalid_arg "Telemetry.create: period must be positive";
+  let tracked =
+    List.map
+      (fun (label, link) ->
+        { label; link; last_bytes = Link.bytes_txed link; samples = [] })
+      links
+  in
+  let t = { engine; period; tracked; running = true } in
+  Engine.schedule engine ~delay:period (fun () -> tick t);
+  t
+
+let stop t = t.running <- false
+
+let find t label = List.find_opt (fun tr -> tr.label = label) t.tracked
+
+let samples t label =
+  match find t label with Some tr -> List.rev tr.samples | None -> []
+
+let mean_utilization t label =
+  match samples t label with
+  | [] -> nan
+  | ss ->
+      List.fold_left (fun acc s -> acc +. s.utilization) 0. ss
+      /. float_of_int (List.length ss)
+
+let peak_queue t label =
+  List.fold_left (fun acc s -> max acc s.queue_pkts) 0 (samples t label)
+
+let labels t = List.map (fun tr -> tr.label) t.tracked

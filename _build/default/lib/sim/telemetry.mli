@@ -1,0 +1,32 @@
+(** Link telemetry: periodic sampling of utilization and queue occupancy.
+
+    A sampler polls a set of links every [period] and records, per link,
+    the utilization over the elapsed interval (bytes transmitted relative
+    to capacity) and the instantaneous queue length. Used by benches and
+    examples to show where a scheme holds queues and where it idles. *)
+
+type sample = {
+  time : float;
+  utilization : float;  (** fraction of capacity used since last sample *)
+  queue_pkts : int;  (** instantaneous queue occupancy *)
+}
+
+type t
+
+(** [create engine ~period links] starts sampling immediately; each link is
+    identified by the label supplied with it. *)
+val create : Engine.t -> period:float -> (string * Link.t) list -> t
+
+(** Stop sampling (already-recorded samples remain readable). *)
+val stop : t -> unit
+
+(** Samples recorded for a link, oldest first. Unknown labels yield []. *)
+val samples : t -> string -> sample list
+
+(** Mean utilization of a link over the recorded window ([nan] if none). *)
+val mean_utilization : t -> string -> float
+
+(** Peak queue occupancy of a link over the recorded window (0 if none). *)
+val peak_queue : t -> string -> int
+
+val labels : t -> string list

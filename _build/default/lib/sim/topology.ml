@@ -1,0 +1,152 @@
+type t = {
+  net : Net.t;
+  hosts : int array;
+  tors : int array;
+  aggs : int array;
+  cores : int array;
+  edge_rate_bps : float;
+  fabric_rate_bps : float;
+  link_delay_s : float;
+}
+
+let tor_of t host =
+  match Net.route t.net ~src:host ~dst:t.hosts.(0) () with
+  | _ :: tor :: _ when host <> t.hosts.(0) -> tor
+  | _ -> (
+      (* host = hosts.(0): route toward any other host. *)
+      match Net.route t.net ~src:host ~dst:t.hosts.(Array.length t.hosts - 1) () with
+      | _ :: tor :: _ -> tor
+      | _ -> invalid_arg "Topology.tor_of")
+
+let agg_of t tor =
+  let is_agg n = Array.exists (fun a -> a = n) t.aggs in
+  match
+    List.find_opt
+      (fun (a, b, _) -> a = tor && is_agg b)
+      (Net.links t.net)
+  with
+  | Some (_, b, _) -> b
+  | None -> invalid_arg "Topology.agg_of: not a three-tier ToR"
+
+let base_rtt t ~src ~dst ~data_bytes =
+  let path = Net.route t.net ~src ~dst () in
+  let rec hops acc = function
+    | a :: (b :: _ as rest) ->
+        let link =
+          match Net.link_from t.net a b with Some l -> l | None -> assert false
+        in
+        hops (link :: acc) rest
+    | _ -> acc
+  in
+  let fwd = hops [] path in
+  let one_way bytes =
+    List.fold_left
+      (fun acc l ->
+        acc +. Link.delay_s l +. (float_of_int (8 * bytes) /. Link.rate_bps l))
+      0. fwd
+  in
+  one_way data_bytes +. one_way Packet.ack_bytes
+
+let single_rack engine counters ~hosts ~rate_bps ~link_delay_s ~qdisc =
+  let net = Net.create engine counters in
+  let hs = Array.init hosts (fun _ -> Net.add_host net) in
+  let tor = Net.add_switch net in
+  Array.iter
+    (fun h ->
+      Net.connect net h tor ~rate_bps ~delay_s:link_delay_s
+        ~qdisc:(fun () -> qdisc ~rate_bps))
+    hs;
+  Net.finalize net;
+  {
+    net;
+    hosts = hs;
+    tors = [| tor |];
+    aggs = [||];
+    cores = [||];
+    edge_rate_bps = rate_bps;
+    fabric_rate_bps = rate_bps;
+    link_delay_s;
+  }
+
+let three_tier engine counters ~hosts_per_tor ~tors ~aggs ~edge_rate_bps
+    ~fabric_rate_bps ~link_delay_s ~qdisc =
+  if tors mod aggs <> 0 then
+    invalid_arg "Topology.three_tier: tors must divide evenly across aggs";
+  let net = Net.create engine counters in
+  let hs = Array.init (hosts_per_tor * tors) (fun _ -> Net.add_host net) in
+  let ts = Array.init tors (fun _ -> Net.add_switch net) in
+  let ags = Array.init aggs (fun _ -> Net.add_switch net) in
+  let core = Net.add_switch net in
+  Array.iteri
+    (fun i h ->
+      let tor = ts.(i / hosts_per_tor) in
+      Net.connect net h tor ~rate_bps:edge_rate_bps ~delay_s:link_delay_s
+        ~qdisc:(fun () -> qdisc ~rate_bps:edge_rate_bps))
+    hs;
+  let tors_per_agg = tors / aggs in
+  Array.iteri
+    (fun i tor ->
+      let agg = ags.(i / tors_per_agg) in
+      Net.connect net tor agg ~rate_bps:fabric_rate_bps ~delay_s:link_delay_s
+        ~qdisc:(fun () -> qdisc ~rate_bps:fabric_rate_bps))
+    ts;
+  Array.iter
+    (fun agg ->
+      Net.connect net agg core ~rate_bps:fabric_rate_bps ~delay_s:link_delay_s
+        ~qdisc:(fun () -> qdisc ~rate_bps:fabric_rate_bps))
+    ags;
+  Net.finalize net;
+  {
+    net;
+    hosts = hs;
+    tors = ts;
+    aggs = ags;
+    cores = [| core |];
+    edge_rate_bps;
+    fabric_rate_bps;
+    link_delay_s;
+  }
+
+let fat_tree engine counters ~k ~rate_bps ~link_delay_s ~qdisc =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Topology.fat_tree: k must be even and >= 2";
+  let half = k / 2 in
+  let net = Net.create engine counters in
+  let hosts = Array.init (k * half * half) (fun _ -> Net.add_host net) in
+  let edges = Array.init (k * half) (fun _ -> Net.add_switch net) in
+  let aggs = Array.init (k * half) (fun _ -> Net.add_switch net) in
+  let cores = Array.init (half * half) (fun _ -> Net.add_switch net) in
+  let connect a b =
+    Net.connect net a b ~rate_bps ~delay_s:link_delay_s
+      ~qdisc:(fun () -> qdisc ~rate_bps)
+  in
+  (* Hosts to edge switches: host i sits under edge (i / half). *)
+  Array.iteri (fun i h -> connect h edges.(i / half)) hosts;
+  (* Within pod p: every edge switch connects to every agg switch. *)
+  for p = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      for a = 0 to half - 1 do
+        connect edges.((p * half) + e) aggs.((p * half) + a)
+      done
+    done
+  done;
+  (* Agg switch a of each pod connects to core group a: cores
+     [a*half, (a+1)*half). *)
+  for p = 0 to k - 1 do
+    for a = 0 to half - 1 do
+      for c = 0 to half - 1 do
+        connect aggs.((p * half) + a) cores.((a * half) + c)
+      done
+    done
+  done;
+  Net.finalize net;
+  {
+    net;
+    hosts;
+    tors = edges;
+    aggs;
+    cores;
+    edge_rate_bps = rate_bps;
+    fabric_rate_bps = rate_bps;
+    link_delay_s;
+  }

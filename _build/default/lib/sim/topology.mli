@@ -1,0 +1,69 @@
+(** Data-center topology builders (paper §4.1, Figure 8).
+
+    Both builders return a finalized {!Net.t} plus the node inventory needed
+    by scenarios and by PASE's per-link arbitrators. *)
+
+type t = {
+  net : Net.t;
+  hosts : int array;
+  tors : int array;
+  aggs : int array;
+  cores : int array;
+  edge_rate_bps : float;
+  fabric_rate_bps : float;
+  link_delay_s : float;  (** per directed link propagation delay *)
+}
+
+(** [tor_of t host] is the ToR switch node a host hangs off. *)
+val tor_of : t -> int -> int
+
+(** [agg_of t tor] is the aggregation switch above [tor] (three-tier only). *)
+val agg_of : t -> int -> int
+
+(** Base (zero-load) RTT between two hosts, including transmission time of a
+    [data_bytes] segment and its [ack_bytes] ack at every hop. *)
+val base_rtt : t -> src:int -> dst:int -> data_bytes:int -> float
+
+(** [single_rack engine counters ~hosts ~rate_bps ~link_delay_s ~qdisc]
+    builds a star: [hosts] hosts on one ToR. [qdisc] is invoked per directed
+    link with the link rate so thresholds can scale with speed. *)
+val single_rack :
+  Engine.t ->
+  Counters.t ->
+  hosts:int ->
+  rate_bps:float ->
+  link_delay_s:float ->
+  qdisc:(rate_bps:float -> Queue_disc.t) ->
+  t
+
+(** [three_tier engine counters ~hosts_per_tor ~tors ~aggs ...] builds the
+    paper's baseline: [tors] ToR switches with [hosts_per_tor] hosts each,
+    ToRs split evenly across [aggs] aggregation switches, all aggs on one
+    core switch. Edge links run at [edge_rate_bps], ToR-Agg and Agg-Core at
+    [fabric_rate_bps]. *)
+val three_tier :
+  Engine.t ->
+  Counters.t ->
+  hosts_per_tor:int ->
+  tors:int ->
+  aggs:int ->
+  edge_rate_bps:float ->
+  fabric_rate_bps:float ->
+  link_delay_s:float ->
+  qdisc:(rate_bps:float -> Queue_disc.t) ->
+  t
+
+(** [fat_tree engine counters ~k ...] builds a k-ary fat-tree ([k] even):
+    [k] pods of [k/2] edge and [k/2] aggregation switches, [(k/2)^2] core
+    switches, [k/2] hosts per edge switch — [k^3/4] hosts total. All links
+    run at [rate_bps]; flows spread over the equal-cost paths by the
+    network's per-flow ECMP hash. Edge switches populate [tors],
+    aggregation switches [aggs]. *)
+val fat_tree :
+  Engine.t ->
+  Counters.t ->
+  k:int ->
+  rate_bps:float ->
+  link_delay_s:float ->
+  qdisc:(rate_bps:float -> Queue_disc.t) ->
+  t

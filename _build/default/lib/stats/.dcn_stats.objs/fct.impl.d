@@ -1,0 +1,1 @@
+lib/stats/fct.ml: Float Hashtbl List Summary

@@ -1,0 +1,92 @@
+type record = {
+  flow : int;
+  size_pkts : int;
+  start_time : float;
+  fct : float;
+  deadline : float option;
+  censored : bool;
+  ideal : float option;
+  task : int option;
+}
+
+type t = { mutable records : record list; mutable n : int; mutable censored_n : int }
+
+let create () = { records = []; n = 0; censored_n = 0 }
+
+let add t ~flow ~size_pkts ~start_time ~fct ?deadline ?(censored = false)
+    ?ideal ?task () =
+  t.records <-
+    { flow; size_pkts; start_time; fct; deadline; censored; ideal; task }
+    :: t.records;
+  t.n <- t.n + 1;
+  if censored then t.censored_n <- t.censored_n + 1
+
+let records t = List.rev t.records
+let count t = t.n
+let censored_count t = t.censored_n
+
+let completed_fcts t =
+  List.filter_map
+    (fun r -> if r.censored then None else Some r.fct)
+    t.records
+
+let afct t = Summary.mean (completed_fcts t)
+let percentile t p = Summary.percentile p (completed_fcts t)
+
+let deadline_met_fraction t =
+  let met, total =
+    List.fold_left
+      (fun (met, total) r ->
+        match r.deadline with
+        | None -> (met, total)
+        | Some d ->
+            let ok = (not r.censored) && r.fct <= d in
+            ((met + if ok then 1 else 0), total + 1))
+      (0, 0) t.records
+  in
+  if total = 0 then nan else float_of_int met /. float_of_int total
+
+let bucket_fcts t ~lo ~hi =
+  List.filter_map
+    (fun r ->
+      if (not r.censored) && r.size_pkts >= lo && r.size_pkts < hi then
+        Some r.fct
+      else None)
+    t.records
+
+let bucket_afct t ~lo ~hi = Summary.mean (bucket_fcts t ~lo ~hi)
+let bucket_count t ~lo ~hi = List.length (bucket_fcts t ~lo ~hi)
+
+let slowdowns t =
+  List.filter_map
+    (fun r ->
+      match r.ideal with
+      | Some ideal when (not r.censored) && ideal > 0. -> Some (r.fct /. ideal)
+      | _ -> None)
+    t.records
+
+let mean_slowdown t = Summary.mean (slowdowns t)
+
+let p99_slowdown t =
+  match slowdowns t with [] -> nan | xs -> Summary.percentile 99. xs
+
+let task_completion_times t =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match r.task with
+      | None -> ()
+      | Some task ->
+          let prev =
+            try Hashtbl.find groups task with Not_found -> (infinity, neg_infinity, false)
+          in
+          let first_start, last_end, censored = prev in
+          Hashtbl.replace groups task
+            ( Float.min first_start r.start_time,
+              Float.max last_end (r.start_time +. r.fct),
+              censored || r.censored ))
+    t.records;
+  Hashtbl.fold
+    (fun _ (first_start, last_end, censored) acc ->
+      if censored then acc else (last_end -. first_start) :: acc)
+    groups []

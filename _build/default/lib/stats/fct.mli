@@ -1,0 +1,65 @@
+(** Flow-completion-time collection. *)
+
+type record = {
+  flow : int;
+  size_pkts : int;
+  start_time : float;
+  fct : float;  (** seconds; for censored flows, time until the horizon *)
+  deadline : float option;  (** relative deadline, if any *)
+  censored : bool;  (** did not finish before the simulation horizon *)
+  ideal : float option;
+      (** the flow's zero-load FCT (base RTT + serialization), if known *)
+  task : int option;  (** task (query) id, for task-completion metrics *)
+}
+
+type t
+
+val create : unit -> t
+
+val add :
+  t ->
+  flow:int ->
+  size_pkts:int ->
+  start_time:float ->
+  fct:float ->
+  ?deadline:float ->
+  ?censored:bool ->
+  ?ideal:float ->
+  ?task:int ->
+  unit ->
+  unit
+
+val records : t -> record list
+val count : t -> int
+val censored_count : t -> int
+
+(** FCTs (seconds) of completed, non-censored flows. *)
+val completed_fcts : t -> float list
+
+(** Average FCT over non-censored flows (seconds). *)
+val afct : t -> float
+
+(** [percentile t p] over non-censored flows. *)
+val percentile : t -> float -> float
+
+(** Fraction of deadline-carrying flows that finished within their deadline
+    (censored flows count as missed). [nan] if no flow had a deadline. *)
+val deadline_met_fraction : t -> float
+
+(** Average FCT of completed flows whose size (in segments) lies in
+    [lo, hi). [nan] if the bucket is empty. *)
+val bucket_afct : t -> lo:int -> hi:int -> float
+
+(** Number of completed flows in the size bucket [lo, hi). *)
+val bucket_count : t -> lo:int -> hi:int -> int
+
+(** Mean slowdown (FCT / zero-load FCT) over completed flows that carry an
+    [ideal]; [nan] if none do. *)
+val mean_slowdown : t -> float
+
+(** 99th-percentile slowdown; [nan] if no flow carries an [ideal]. *)
+val p99_slowdown : t -> float
+
+(** Completion time of each task (last member finish minus first member
+    start), over tasks with no censored member. *)
+val task_completion_times : t -> float list

@@ -1,0 +1,54 @@
+type t = {
+  title : string;
+  x_label : string;
+  columns : string list;
+  rows : (float * float list) list;
+}
+
+let make ~title ~x_label ~columns ~rows =
+  List.iter
+    (fun (_, ys) ->
+      if List.length ys <> List.length columns then
+        invalid_arg "Series.make: row arity mismatch")
+    rows;
+  { title; x_label; columns; rows }
+
+let render_table header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ')
+         row)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  print_endline (line header);
+  print_endline sep;
+  List.iter (fun row -> print_endline (line row)) rows
+
+let print ?(fmt_y = Printf.sprintf "%.3f") t =
+  Printf.printf "\n== %s ==\n" t.title;
+  let header = t.x_label :: t.columns in
+  let rows =
+    List.map
+      (fun (x, ys) -> Printf.sprintf "%g" x :: List.map fmt_y ys)
+      t.rows
+  in
+  render_table header rows;
+  print_newline ()
+
+let print_table ~title ~header rows =
+  Printf.printf "\n== %s ==\n" title;
+  render_table header rows;
+  print_newline ()

@@ -1,0 +1,20 @@
+(** Pretty-printing of benchmark series as aligned text tables, matching the
+    "one row per x-value, one column per scheme" layout of the paper's
+    figures. *)
+
+type t = {
+  title : string;
+  x_label : string;
+  columns : string list;  (** column (scheme) names *)
+  rows : (float * float list) list;  (** x value, one y per column *)
+}
+
+val make :
+  title:string -> x_label:string -> columns:string list ->
+  rows:(float * float list) list -> t
+
+(** Render with a given y formatter (defaults to [%.3f]). *)
+val print : ?fmt_y:(float -> string) -> t -> unit
+
+(** Render a raw string table (for Tables 1-3). *)
+val print_table : title:string -> header:string list -> string list list -> unit

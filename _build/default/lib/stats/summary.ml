@@ -1,0 +1,32 @@
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Summary.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Summary.percentile: p out of range";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let min = function
+  | [] -> nan
+  | x :: xs -> List.fold_left Stdlib.min x xs
+
+let max = function
+  | [] -> nan
+  | x :: xs -> List.fold_left Stdlib.max x xs
+
+let cdf ?(points = 100) xs =
+  if xs = [] then []
+  else begin
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    List.init points (fun i ->
+        let q = float_of_int (i + 1) /. float_of_int points in
+        let idx = Stdlib.min (n - 1) (int_of_float (q *. float_of_int n) - 1) in
+        (a.(Stdlib.max 0 idx), q))
+  end

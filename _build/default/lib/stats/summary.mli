@@ -1,0 +1,14 @@
+(** Small numeric helpers over float samples. *)
+
+val mean : float list -> float
+
+(** [percentile p xs] with [p] in [0, 100]; nearest-rank on the sorted
+    sample. Raises [Invalid_argument] on an empty list. *)
+val percentile : float -> float list -> float
+
+val min : float list -> float
+val max : float list -> float
+
+(** Empirical CDF: for each of [points] evenly spaced quantiles q in (0,1],
+    the pair [(value at q, q)]. *)
+val cdf : ?points:int -> float list -> (float * float) list

@@ -1,0 +1,1 @@
+lib/transport/d2tcp.ml: Dctcp Ecn_cc Engine Float Flow Sender_base

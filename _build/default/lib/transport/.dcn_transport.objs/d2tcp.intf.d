@@ -1,0 +1,1 @@
+lib/transport/d2tcp.mli: Flow Net Sender_base

@@ -1,0 +1,1 @@
+lib/transport/d3.ml: Counters Engine Float Flow Hashtbl Link List Net Sender_base

@@ -1,0 +1,1 @@
+lib/transport/d3.mli: Flow Net Sender_base

@@ -1,0 +1,1 @@
+lib/transport/dctcp.ml: Ecn_cc Sender_base

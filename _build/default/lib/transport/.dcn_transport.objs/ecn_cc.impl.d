@@ -1,0 +1,1 @@
+lib/transport/ecn_cc.ml: Float Sender_base

@@ -1,0 +1,1 @@
+lib/transport/ecn_cc.mli: Sender_base

@@ -1,0 +1,1 @@
+lib/transport/l2dct.ml: Dctcp Ecn_cc Float Sender_base

@@ -1,0 +1,1 @@
+lib/transport/l2dct.mli: Flow Net Sender_base

@@ -1,0 +1,1 @@
+lib/transport/pdq.ml: Array Counters Engine Float Flow Hashtbl Link List Net Sender_base

@@ -1,0 +1,1 @@
+lib/transport/pdq.mli: Flow Net Sender_base

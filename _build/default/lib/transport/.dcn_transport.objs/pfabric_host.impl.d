@@ -1,0 +1,1 @@
+lib/transport/pfabric_host.ml: Packet Sender_base

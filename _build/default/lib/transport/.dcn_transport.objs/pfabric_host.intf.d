@@ -1,0 +1,1 @@
+lib/transport/pfabric_host.mli: Flow Net Sender_base

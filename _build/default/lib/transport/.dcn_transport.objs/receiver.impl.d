@@ -1,0 +1,1 @@
+lib/transport/receiver.ml: Engine Flow Net Packet Seg_store

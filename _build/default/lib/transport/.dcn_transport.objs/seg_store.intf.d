@@ -1,0 +1,1 @@
+lib/transport/seg_store.mli:

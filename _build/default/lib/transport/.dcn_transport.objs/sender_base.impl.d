@@ -1,0 +1,1 @@
+lib/transport/sender_base.ml: Engine Float Flow Hashtbl Net Packet Seg_store

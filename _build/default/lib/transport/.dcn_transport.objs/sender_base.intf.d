@@ -1,0 +1,1 @@
+lib/transport/sender_base.mli: Engine Flow Net Packet

@@ -1,0 +1,31 @@
+let conf = Dctcp.conf
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let imminence t =
+  let flow = Sender_base.flow t in
+  match Flow.absolute_deadline flow with
+  | None -> 1.
+  | Some abs_deadline ->
+      let now = Engine.now (Sender_base.engine t) in
+      let time_left = abs_deadline -. now in
+      if time_left <= 0. then 2.
+      else
+        (* Tc: time to finish at the current rate cwnd / srtt. *)
+        let tc =
+          float_of_int (Sender_base.remaining_pkts t)
+          *. Sender_base.srtt t /. Float.max 1. (Sender_base.cwnd t)
+        in
+        clamp 0.5 2. (tc /. time_left)
+
+let create net ~flow ?conf:(c = conf ()) ~on_complete () =
+  let st = Ecn_cc.create_state () in
+  let hooks =
+    Ecn_cc.hooks st
+      ~increase_weight:(fun _ -> 1.)
+      ~cut_multiplier:(fun st t ->
+        (* p = alpha^d: d > 1 (urgent) shrinks p, gentler backoff. *)
+        let p = Ecn_cc.alpha st ** imminence t in
+        1. -. (p /. 2.))
+  in
+  Sender_base.create net ~flow ~conf:c ~hooks ~on_complete ()

@@ -1,0 +1,16 @@
+(** D2TCP (Vamanan et al., SIGCOMM'12): deadline-aware DCTCP. The backoff is
+    gamma-corrected by the deadline-imminence factor [d = Tc / D], clamped to
+    [0.5, 2]: far-deadline flows back off more, near-deadline flows less. *)
+
+val conf : ?init_rtt:float -> unit -> Sender_base.conf
+
+(** Deadline-imminence factor for the sender's flow (exposed for tests). *)
+val imminence : Sender_base.t -> float
+
+val create :
+  Net.t ->
+  flow:Flow.t ->
+  ?conf:Sender_base.conf ->
+  on_complete:(Sender_base.t -> fct:float -> unit) ->
+  unit ->
+  Sender_base.t

@@ -1,0 +1,145 @@
+module Router = struct
+  type entry = { flow : int; mutable request_bps : float; arrival : int }
+
+  type t = {
+    capacity_bps : float;
+    entries : (int, entry) Hashtbl.t;
+    mutable next_arrival : int;
+  }
+
+  let create ~capacity_bps =
+    { capacity_bps; entries = Hashtbl.create 32; next_arrival = 0 }
+
+  let update t ~flow ~request_bps =
+    match Hashtbl.find_opt t.entries flow with
+    | Some e -> e.request_bps <- Float.max 0. request_bps
+    | None ->
+        Hashtbl.replace t.entries flow
+          { flow; request_bps = Float.max 0. request_bps; arrival = t.next_arrival };
+        t.next_arrival <- t.next_arrival + 1
+
+  let remove t ~flow = Hashtbl.remove t.entries flow
+  let flows t = Hashtbl.length t.entries
+
+  let allocation t ~flow =
+    let n = Hashtbl.length t.entries in
+    if n = 0 then 0.
+    else begin
+      let sorted =
+        Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+        |> List.sort (fun a b -> compare a.arrival b.arrival)
+      in
+      (* FCFS greedy satisfaction of reservations. *)
+      let avail = ref t.capacity_bps in
+      let granted = Hashtbl.create n in
+      List.iter
+        (fun e ->
+          let g = Float.min e.request_bps !avail in
+          Hashtbl.replace granted e.flow g;
+          avail := !avail -. g)
+        sorted;
+      let fair = Float.max 0. !avail /. float_of_int n in
+      match Hashtbl.find_opt granted flow with
+      | Some g -> g +. fair
+      | None -> 0.
+    end
+end
+
+type host = {
+  sender : Sender_base.t;
+  routers : Router.t list;
+  rtt : float;
+  nic_bps : float;
+  rate : float ref;
+  stopped : bool ref;
+}
+
+let conf ?(init_rtt = 0.0003) () =
+  {
+    Sender_base.default_conf with
+    Sender_base.init_cwnd = 1000.;
+    max_cwnd = 1000.;
+    min_rto = 0.010;
+    init_rtt;
+    ecn_capable = false;
+  }
+
+let sender h = h.sender
+let current_rate h = !(h.rate)
+
+let mss_bits h = float_of_int (8 * (Sender_base.conf h.sender).Sender_base.mss)
+
+let counters h = Net.counters (Sender_base.net h.sender)
+
+(* The rate that finishes the flow exactly at its deadline. *)
+let desired_rate h =
+  match Flow.absolute_deadline (Sender_base.flow h.sender) with
+  | None -> 0.
+  | Some abs_deadline ->
+      let now = Engine.now (Sender_base.engine h.sender) in
+      let left = abs_deadline -. now in
+      let remaining_bits =
+        float_of_int (Sender_base.remaining_pkts h.sender) *. mss_bits h
+      in
+      if left <= 0. then h.nic_bps else Float.min h.nic_bps (remaining_bits /. left)
+
+let refresh h =
+  if (not !(h.stopped)) && not (Sender_base.completed h.sender) then begin
+    let flow = (Sender_base.flow h.sender).Flow.id in
+    let request = desired_rate h in
+    List.iter
+      (fun r ->
+        Router.update r ~flow ~request_bps:request;
+        let c = counters h in
+        c.Counters.ctrl_msgs <- c.Counters.ctrl_msgs + 2)
+      h.routers;
+    let alloc =
+      List.fold_left
+        (fun acc r -> Float.min acc (Router.allocation r ~flow))
+        h.nic_bps h.routers
+    in
+    (* Rate returns in the header one one-way delay later. *)
+    Engine.schedule (Sender_base.engine h.sender) ~delay:(h.rtt /. 2.)
+      (fun () ->
+        if (not !(h.stopped)) && not (Sender_base.completed h.sender) then begin
+          h.rate := alloc;
+          Sender_base.try_send h.sender
+        end)
+  end
+
+let rec tick h =
+  if (not !(h.stopped)) && not (Sender_base.completed h.sender) then begin
+    refresh h;
+    Engine.schedule (Sender_base.engine h.sender) ~delay:h.rtt (fun () -> tick h)
+  end
+
+let create net ~flow ~routers ~rtt ?conf:(c = conf ()) ~on_complete () =
+  let stopped = ref false in
+  let rate = ref 0. in
+  let nic_bps =
+    match Net.route net ~flow:flow.Flow.id ~src:flow.Flow.src ~dst:flow.Flow.dst () with
+    | a :: b :: _ -> (
+        match Net.link_from net a b with
+        | Some l -> Link.rate_bps l
+        | None -> 1e9)
+    | _ -> 1e9
+  in
+  let hooks =
+    {
+      Sender_base.default_hooks with
+      Sender_base.pacing_rate = (fun _ -> Some !rate);
+    }
+  in
+  let engine = Net.engine net in
+  let on_complete sender ~fct =
+    stopped := true;
+    Engine.schedule engine ~delay:(rtt /. 2.) (fun () ->
+        List.iter (fun r -> Router.remove r ~flow:flow.Flow.id) routers);
+    on_complete sender ~fct
+  in
+  let sender = Sender_base.create net ~flow ~conf:c ~hooks ~on_complete () in
+  { sender; routers; rtt; nic_bps; rate; stopped }
+
+let start h =
+  Sender_base.start h.sender;
+  tick h

@@ -1,0 +1,47 @@
+(** D3 (Wilson et al., SIGCOMM'11): deadline-driven explicit rate control —
+    the paper's other arbitration example (Table 1).
+
+    Each RTT a sender asks the routers on its path for the rate that
+    finishes its flow exactly at its deadline ([remaining / time-left]);
+    routers grant requests greedily in {e arrival order} (FCFS) and split
+    the leftover capacity equally among all flows as fair share. Flows
+    without deadlines request nothing and live off the fair share.
+
+    The FCFS grant order is D3's published behaviour and its known weakness
+    (priority inversion: an early-arriving far-deadline flow can starve a
+    late-arriving near-deadline one) — kept deliberately, since PDQ and PASE
+    are evaluated against exactly that behaviour. *)
+
+module Router : sig
+  type t
+
+  val create : capacity_bps:float -> t
+
+  (** [update t ~flow ~request_bps] refreshes a flow's reservation request
+      (0 for no-deadline flows). New flows are appended in arrival order. *)
+  val update : t -> flow:int -> request_bps:float -> unit
+
+  val remove : t -> flow:int -> unit
+  val flows : t -> int
+
+  (** Rate granted to [flow]: its satisfied reservation (FCFS) plus an
+      equal share of the unreserved capacity. *)
+  val allocation : t -> flow:int -> float
+end
+
+type host
+
+val create :
+  Net.t ->
+  flow:Flow.t ->
+  routers:Router.t list ->
+  rtt:float ->
+  ?conf:Sender_base.conf ->
+  on_complete:(Sender_base.t -> fct:float -> unit) ->
+  unit ->
+  host
+
+val start : host -> unit
+val sender : host -> Sender_base.t
+val current_rate : host -> float
+val conf : ?init_rtt:float -> unit -> Sender_base.conf

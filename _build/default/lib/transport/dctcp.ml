@@ -1,0 +1,17 @@
+let conf ?(init_rtt = 0.0003) () =
+  {
+    Sender_base.default_conf with
+    Sender_base.init_cwnd = 10.;
+    min_rto = 0.010;
+    init_rtt;
+    ecn_capable = true;
+  }
+
+let create net ~flow ?conf:(c = conf ()) ~on_complete () =
+  let st = Ecn_cc.create_state () in
+  let hooks =
+    Ecn_cc.hooks st
+      ~increase_weight:(fun _ -> 1.)
+      ~cut_multiplier:(fun st _ -> 1. -. (Ecn_cc.alpha st /. 2.))
+  in
+  Sender_base.create net ~flow ~conf:c ~hooks ~on_complete ()

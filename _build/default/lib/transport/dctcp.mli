@@ -1,0 +1,13 @@
+(** DCTCP (Alizadeh et al., SIGCOMM'10): ECN-fraction-proportional backoff,
+    fair sharing. The deployment-friendly baseline of the paper. *)
+
+(** Default sender configuration (Table 3: min RTO 10 ms). *)
+val conf : ?init_rtt:float -> unit -> Sender_base.conf
+
+val create :
+  Net.t ->
+  flow:Flow.t ->
+  ?conf:Sender_base.conf ->
+  on_complete:(Sender_base.t -> fct:float -> unit) ->
+  unit ->
+  Sender_base.t

@@ -1,0 +1,22 @@
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  size_pkts : int;
+  start_time : float;
+  deadline : float option;
+}
+
+let long_lived_size = max_int / 2
+let is_long_lived t = t.size_pkts >= long_lived_size
+
+let make ~id ~src ~dst ~size_pkts ~start_time ?deadline () =
+  if size_pkts <= 0 then invalid_arg "Flow.make: size must be positive";
+  { id; src; dst; size_pkts; start_time; deadline }
+
+let absolute_deadline t =
+  match t.deadline with None -> None | Some d -> Some (t.start_time +. d)
+
+let size_pkts_of_bytes ~mss bytes =
+  if bytes <= 0 then invalid_arg "Flow.size_pkts_of_bytes: non-positive size";
+  (bytes + mss - 1) / mss

@@ -1,0 +1,25 @@
+(** Flow descriptors shared by every transport. *)
+
+type t = {
+  id : int;
+  src : int;  (** source host node id *)
+  dst : int;  (** destination host node id *)
+  size_pkts : int;  (** flow size in MSS segments; [max_int] = long-lived *)
+  start_time : float;
+  deadline : float option;  (** relative deadline in seconds, if any *)
+}
+
+(** Size treated as "long-lived / runs forever". *)
+val long_lived_size : int
+
+val is_long_lived : t -> bool
+
+val make :
+  id:int -> src:int -> dst:int -> size_pkts:int -> start_time:float ->
+  ?deadline:float -> unit -> t
+
+(** Absolute deadline, if any. *)
+val absolute_deadline : t -> float option
+
+(** [size_pkts_of_bytes ~mss bytes] converts a byte size to segments. *)
+val size_pkts_of_bytes : mss:int -> int -> int

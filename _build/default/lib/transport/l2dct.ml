@@ -1,0 +1,28 @@
+let conf = Dctcp.conf
+
+let w_min = 0.125
+let w_max = 2.5
+let ref_bytes = 1_000_000
+
+let weight_of_sent sent =
+  let frac = Float.min 1. (float_of_int sent /. float_of_int ref_bytes) in
+  w_max -. ((w_max -. w_min) *. frac)
+
+let sent_bytes t =
+  Sender_base.acked_pkts t * (Sender_base.conf t).Sender_base.mss
+
+let create net ~flow ?conf:(c = conf ()) ~on_complete () =
+  let st = Ecn_cc.create_state () in
+  let hooks =
+    Ecn_cc.hooks st
+      ~increase_weight:(fun t -> weight_of_sent (sent_bytes t))
+      ~cut_multiplier:(fun st t ->
+        (* Heavy flows take the full DCTCP cut; light flows a gentler one,
+           scaled by how much of the reference size they have sent. *)
+        let sent_frac =
+          Float.min 1. (float_of_int (sent_bytes t) /. float_of_int ref_bytes)
+        in
+        let b = 0.5 +. (0.5 *. sent_frac) in
+        1. -. (Ecn_cc.alpha st *. b /. 2.))
+  in
+  Sender_base.create net ~flow ~conf:c ~hooks ~on_complete ()

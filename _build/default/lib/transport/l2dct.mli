@@ -1,0 +1,24 @@
+(** L2DCT (Munir et al., INFOCOM'13): size-aware DCTCP. Flows that have sent
+    little data grow faster and back off less than heavy flows,
+    approximating least-attained-service scheduling on top of ECN.
+
+    The weight schedule here linearly interpolates between [w_max] (a flow
+    that has sent nothing) and [w_min] (a flow past [ref_bytes]), which
+    matches the shape of the published per-bin weights. *)
+
+val conf : ?init_rtt:float -> unit -> Sender_base.conf
+
+val w_min : float
+val w_max : float
+val ref_bytes : int
+
+(** Increase weight for a flow that has sent [sent] bytes. *)
+val weight_of_sent : int -> float
+
+val create :
+  Net.t ->
+  flow:Flow.t ->
+  ?conf:Sender_base.conf ->
+  on_complete:(Sender_base.t -> fct:float -> unit) ->
+  unit ->
+  Sender_base.t

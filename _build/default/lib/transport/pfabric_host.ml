@@ -1,0 +1,33 @@
+let probe_after = 5
+
+let conf ?(init_rtt = 0.0003) ?(init_cwnd = 38.) ?(min_rto = 0.001) () =
+  {
+    Sender_base.default_conf with
+    Sender_base.init_cwnd;
+    max_cwnd = init_cwnd;
+    min_rto;
+    init_rtt;
+    ecn_capable = false;
+  }
+
+let create net ~flow ?conf:(c = conf ()) ~on_complete () =
+  let stamp t (pkt : Packet.t) =
+    pkt.Packet.prio <- float_of_int (Sender_base.remaining_pkts t);
+    pkt.Packet.tos <- 0
+  in
+  let on_ack t ~ecn:_ ~newly_acked =
+    (* Leaving probe mode: an ack means capacity freed up; resume full rate. *)
+    if newly_acked > 0 && Sender_base.cwnd t < c.Sender_base.init_cwnd then
+      Sender_base.set_cwnd t c.Sender_base.init_cwnd
+  in
+  let on_timeout t =
+    Sender_base.default_timeout_action t;
+    if Sender_base.consecutive_timeouts t < probe_after then
+      Sender_base.set_cwnd t c.Sender_base.init_cwnd;
+    Sender_base.try_send t;
+    `Handled
+  in
+  let hooks =
+    { Sender_base.default_hooks with Sender_base.stamp; on_ack; on_timeout }
+  in
+  Sender_base.create net ~flow ~conf:c ~hooks ~on_complete ()

@@ -1,0 +1,29 @@
+type status = Unsent | Inflight | Acked | Lost
+
+type t = { mutable buf : Bytes.t }
+
+let create () = { buf = Bytes.make 256 '\000' }
+
+let code = function Unsent -> '\000' | Inflight -> '\001' | Acked -> '\002' | Lost -> '\003'
+
+let decode = function
+  | '\000' -> Unsent
+  | '\001' -> Inflight
+  | '\002' -> Acked
+  | '\003' -> Lost
+  | _ -> assert false
+
+let ensure t i =
+  let n = Bytes.length t.buf in
+  if i >= n then begin
+    let m = max (2 * n) (i + 1) in
+    let nb = Bytes.make m '\000' in
+    Bytes.blit t.buf 0 nb 0 n;
+    t.buf <- nb
+  end
+
+let get t i = if i >= Bytes.length t.buf then Unsent else decode (Bytes.get t.buf i)
+
+let set t i s =
+  ensure t i;
+  Bytes.set t.buf i (code s)

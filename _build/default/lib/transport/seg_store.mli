@@ -1,0 +1,10 @@
+(** Growable per-segment state store for senders. Constant-time get/set with
+    amortized growth; unset segments read as {!Unsent}. *)
+
+type status = Unsent | Inflight | Acked | Lost
+
+type t
+
+val create : unit -> t
+val get : t -> int -> status
+val set : t -> int -> status -> unit

@@ -1,0 +1,356 @@
+type conf = {
+  mss : int;
+  init_cwnd : float;
+  max_cwnd : float;
+  init_ssthresh : float;
+  min_rto : float;
+  max_rto : float;
+  init_rtt : float;
+  ecn_capable : bool;
+}
+
+type t = {
+  net : Net.t;
+  engine : Engine.t;
+  flow : Flow.t;
+  conf : conf;
+  mutable hooks : hooks;
+  status : Seg_store.t;
+  inflight_times : (int, float * bool) Hashtbl.t;  (* seq -> sent_at, retx *)
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable next_new : int;  (* next never-transmitted segment *)
+  mutable cum_ack : int;  (* first unacked segment *)
+  mutable acked_count : int;
+  mutable inflight : int;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable backoff : int;
+  mutable consecutive_timeouts : int;
+  mutable dupacks : int;
+  mutable recover_until : int;  (* suppress fast-rtx until cum_ack passes *)
+  mutable in_recovery : bool;
+  mutable timer : Engine.cancel option;
+  mutable probe_outstanding : bool;
+  mutable pace_scheduled : bool;
+  mutable next_pace_at : float;
+  mutable completed : bool;
+  on_complete : t -> fct:float -> unit;
+}
+
+and hooks = {
+  stamp : t -> Packet.t -> unit;
+  on_ack : t -> ecn:bool -> newly_acked:int -> unit;
+  on_fast_retransmit : t -> unit;
+  on_timeout : t -> [ `Default | `Handled ];
+  allow_send : t -> bool;
+  pacing_rate : t -> float option;
+  base_rto : t -> float;
+}
+
+let default_conf =
+  {
+    mss = 1460;
+    init_cwnd = 2.;
+    max_cwnd = 10_000.;
+    init_ssthresh = 1000.;
+    min_rto = 0.010;
+    max_rto = 2.0;
+    init_rtt = 0.0003;
+    ecn_capable = true;
+  }
+
+let net t = t.net
+let engine t = t.engine
+let flow t = t.flow
+let conf t = t.conf
+let set_hooks t h = t.hooks <- h
+let cwnd t = t.cwnd
+let set_cwnd t w = t.cwnd <- Float.min t.conf.max_cwnd (Float.max 1. w)
+let ssthresh t = t.ssthresh
+let set_ssthresh t v = t.ssthresh <- Float.max 2. v
+let srtt t = t.srtt
+let acked_pkts t = t.acked_count
+let remaining_pkts t = max 0 (t.flow.Flow.size_pkts - t.acked_count)
+let sent_new_pkts t = t.next_new
+let cum_ack t = t.cum_ack
+let inflight t = t.inflight
+let completed t = t.completed
+let consecutive_timeouts t = t.consecutive_timeouts
+
+let window t = max 1 (int_of_float t.cwnd)
+
+let rto_value t =
+  let base = Float.max (t.hooks.base_rto t) (t.srtt +. (4. *. t.rttvar)) in
+  let backed = base *. (2. ** float_of_int t.backoff) in
+  Float.min t.conf.max_rto backed
+
+let cancel_timer t =
+  match t.timer with
+  | Some c ->
+      c ();
+      t.timer <- None
+  | None -> ()
+
+(* Forward declarations resolved through mutual recursion. *)
+let rec arm_timer t =
+  if t.timer = None && not t.completed then
+    t.timer <-
+      Some
+        (Engine.schedule_cancellable t.engine ~delay:(rto_value t) (fun () ->
+             t.timer <- None;
+             handle_timeout t))
+
+and reset_timer t =
+  cancel_timer t;
+  if t.inflight > 0 || t.cum_ack < t.next_new then arm_timer t
+
+and handle_timeout t =
+  if t.completed then ()
+  else begin
+    t.consecutive_timeouts <- t.consecutive_timeouts + 1;
+    (match t.hooks.on_timeout t with
+    | `Handled -> ()
+    | `Default -> default_timeout_action t);
+    t.backoff <- min 8 (t.backoff + 1);
+    arm_timer t
+  end
+
+and default_timeout_action t =
+  (* Go-back-N on RTO: everything unacked and in flight is presumed lost. *)
+  for s = t.cum_ack to t.next_new - 1 do
+    if Seg_store.get t.status s = Seg_store.Inflight then begin
+      Seg_store.set t.status s Seg_store.Lost;
+      t.inflight <- t.inflight - 1
+    end
+  done;
+  Hashtbl.reset t.inflight_times;
+  t.in_recovery <- false;
+  set_ssthresh t (t.cwnd /. 2.);
+  set_cwnd t 1.;
+  try_send t
+
+and next_to_send t =
+  (* Lost segments (retransmissions) take precedence over new data. *)
+  let rec scan s =
+    if s >= t.next_new then None
+    else if Seg_store.get t.status s = Seg_store.Lost then Some (s, true)
+    else scan (s + 1)
+  in
+  match scan t.cum_ack with
+  | Some _ as r -> r
+  | None ->
+      if t.next_new < t.flow.Flow.size_pkts then Some (t.next_new, false)
+      else None
+
+and send_segment t seq ~retx =
+  if not retx then t.next_new <- max t.next_new (seq + 1);
+  Seg_store.set t.status seq Seg_store.Inflight;
+  t.inflight <- t.inflight + 1;
+  Hashtbl.replace t.inflight_times seq (Engine.now t.engine, retx);
+  let pkt =
+    Packet.make ~flow:t.flow.Flow.id ~src:t.flow.Flow.src ~dst:t.flow.Flow.dst
+      ~kind:Packet.Data
+      ~size:(t.conf.mss + Packet.header_bytes)
+      ~seq ~ecn_capable:t.conf.ecn_capable ~sent_at:(Engine.now t.engine) ()
+  in
+  t.hooks.stamp t pkt;
+  Net.send t.net pkt;
+  arm_timer t
+
+and try_send t =
+  if t.completed then ()
+  else
+    match t.hooks.pacing_rate t with
+    | None ->
+        let continue = ref true in
+        while !continue do
+          if t.inflight < window t && t.hooks.allow_send t then
+            match next_to_send t with
+            | Some (seq, retx) -> send_segment t seq ~retx
+            | None -> continue := false
+          else continue := false
+        done
+    | Some rate -> if rate > 0. then schedule_pace t rate
+
+and schedule_pace t _rate =
+  if (not t.pace_scheduled) && not t.completed then begin
+    let now = Engine.now t.engine in
+    let at = Float.max now t.next_pace_at in
+    t.pace_scheduled <- true;
+    Engine.schedule_at t.engine ~time:at (fun () ->
+        t.pace_scheduled <- false;
+        if not t.completed then begin
+          (match t.hooks.pacing_rate t with
+          | Some rate when rate > 0. ->
+              if t.inflight < window t && t.hooks.allow_send t then begin
+                match next_to_send t with
+                | Some (seq, retx) ->
+                    send_segment t seq ~retx;
+                    t.next_pace_at <-
+                      Engine.now t.engine
+                      +. (float_of_int (8 * (t.conf.mss + Packet.header_bytes))
+                         /. rate);
+                    schedule_pace t rate
+                | None -> ()
+              end
+              else begin
+                (* Window-blocked: retry after the current pacing gap. *)
+                t.next_pace_at <-
+                  Engine.now t.engine
+                  +. (float_of_int (8 * (t.conf.mss + Packet.header_bytes)) /. rate);
+                schedule_pace t rate
+              end
+          | _ -> ())
+        end)
+  end
+
+let send_probe t =
+  if (not t.probe_outstanding) && not t.completed then begin
+    t.probe_outstanding <- true;
+    let pkt =
+      Packet.make ~flow:t.flow.Flow.id ~src:t.flow.Flow.src
+        ~dst:t.flow.Flow.dst ~kind:Packet.Probe ~size:Packet.probe_bytes
+        ~seq:t.cum_ack ~ecn_capable:false ~sent_at:(Engine.now t.engine) ()
+    in
+    t.hooks.stamp t pkt;
+    Net.send t.net pkt
+  end
+
+let complete t =
+  if not t.completed then begin
+    t.completed <- true;
+    cancel_timer t;
+    Net.unregister_flow t.net ~host:t.flow.Flow.src ~flow:t.flow.Flow.id;
+    t.on_complete t ~fct:(Engine.now t.engine -. t.flow.Flow.start_time)
+  end
+
+let cancel t =
+  t.completed <- true;
+  cancel_timer t;
+  Net.unregister_flow t.net ~host:t.flow.Flow.src ~flow:t.flow.Flow.id
+
+let update_rtt t sample =
+  if t.srtt <= 0. then begin
+    t.srtt <- sample;
+    t.rttvar <- sample /. 2.
+  end
+  else begin
+    let alpha = 0.125 and beta = 0.25 in
+    t.rttvar <-
+      ((1. -. beta) *. t.rttvar) +. (beta *. Float.abs (t.srtt -. sample));
+    t.srtt <- ((1. -. alpha) *. t.srtt) +. (alpha *. sample)
+  end
+
+let mark_acked t seq newly =
+  match Seg_store.get t.status seq with
+  | Seg_store.Acked -> ()
+  | prev ->
+      if prev = Seg_store.Inflight then t.inflight <- t.inflight - 1;
+      Seg_store.set t.status seq Seg_store.Acked;
+      t.acked_count <- t.acked_count + 1;
+      incr newly;
+      (match Hashtbl.find_opt t.inflight_times seq with
+      | Some (sent_at, retx) ->
+          if not retx then update_rtt t (Engine.now t.engine -. sent_at);
+          Hashtbl.remove t.inflight_times seq
+      | None -> ());
+      (* A segment the receiver has cannot be "new" anymore. *)
+      if seq >= t.next_new then t.next_new <- seq + 1
+
+let mark_lost t seq =
+  if Seg_store.get t.status seq = Seg_store.Inflight then begin
+    Seg_store.set t.status seq Seg_store.Lost;
+    t.inflight <- t.inflight - 1;
+    Hashtbl.remove t.inflight_times seq
+  end
+
+let handle_ack_like t (pkt : Packet.t) =
+  if t.completed then ()
+  else begin
+    t.probe_outstanding <- false;
+    let newly = ref 0 in
+    if pkt.Packet.sack >= 0 then mark_acked t pkt.Packet.sack newly;
+    if pkt.Packet.ack > t.cum_ack then begin
+      for s = t.cum_ack to pkt.Packet.ack - 1 do
+        mark_acked t s newly
+      done;
+      t.cum_ack <- pkt.Packet.ack;
+      t.dupacks <- 0;
+      t.backoff <- 0;
+      t.consecutive_timeouts <- 0;
+      if t.in_recovery then begin
+        if t.cum_ack >= t.recover_until then t.in_recovery <- false
+        else
+          (* NewReno partial ack: the next hole is also lost; retransmit it
+             without waiting for three more duplicates. *)
+          mark_lost t t.cum_ack
+      end;
+      reset_timer t
+    end
+    else if pkt.Packet.kind = Packet.Ack && pkt.Packet.sack >= t.cum_ack then begin
+      t.dupacks <- t.dupacks + 1;
+      if t.dupacks = 3 && t.cum_ack >= t.recover_until then begin
+        mark_lost t t.cum_ack;
+        t.recover_until <- t.next_new;
+        t.in_recovery <- true;
+        t.hooks.on_fast_retransmit t
+      end
+    end;
+    (* A probe answered "segment missing": it was dropped, not parked. *)
+    if
+      pkt.Packet.kind = Packet.Probe_ack
+      && pkt.Packet.sack < 0
+      && pkt.Packet.seq >= t.cum_ack
+    then mark_lost t pkt.Packet.seq;
+    t.hooks.on_ack t ~ecn:pkt.Packet.ecn_echo ~newly_acked:!newly;
+    if t.cum_ack >= t.flow.Flow.size_pkts then complete t else try_send t
+  end
+
+let default_hooks =
+  {
+    stamp = (fun _ _ -> ());
+    on_ack = (fun _ ~ecn:_ ~newly_acked:_ -> ());
+    on_fast_retransmit = (fun _ -> ());
+    on_timeout = (fun _ -> `Default);
+    allow_send = (fun _ -> true);
+    pacing_rate = (fun _ -> None);
+    base_rto = (fun t -> t.conf.min_rto);
+  }
+
+let create net ~flow ~conf ?(hooks = default_hooks) ~on_complete () =
+  {
+    net;
+    engine = Net.engine net;
+    flow;
+    conf;
+    hooks;
+    status = Seg_store.create ();
+    inflight_times = Hashtbl.create 64;
+    cwnd = Float.min conf.max_cwnd (Float.max 1. conf.init_cwnd);
+    ssthresh = conf.init_ssthresh;
+    next_new = 0;
+    cum_ack = 0;
+    acked_count = 0;
+    inflight = 0;
+    srtt = conf.init_rtt;
+    rttvar = conf.init_rtt /. 2.;
+    backoff = 0;
+    consecutive_timeouts = 0;
+    dupacks = 0;
+    recover_until = 0;
+    in_recovery = false;
+    timer = None;
+    probe_outstanding = false;
+    pace_scheduled = false;
+    next_pace_at = 0.;
+    completed = false;
+    on_complete;
+  }
+
+let start t =
+  Net.register_flow t.net ~host:t.flow.Flow.src ~flow:t.flow.Flow.id (fun pkt ->
+      match pkt.Packet.kind with
+      | Packet.Ack | Packet.Probe_ack -> handle_ack_like t pkt
+      | Packet.Data | Packet.Probe | Packet.Ctrl -> ());
+  try_send t

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Dist List Printf Rng Topology

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Counters Dist Engine Queue_disc Topology

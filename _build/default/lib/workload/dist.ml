@@ -1,0 +1,105 @@
+type t = { sample : Rng.t -> float; mean : float; name : string }
+
+let uniform a b =
+  if a > b then invalid_arg "Dist.uniform: empty interval";
+  {
+    sample = (fun rng -> if a = b then a else Rng.uniform rng a b);
+    mean = (a +. b) /. 2.;
+    name = Printf.sprintf "U[%g,%g]" a b;
+  }
+
+let constant v =
+  { sample = (fun _ -> v); mean = v; name = Printf.sprintf "const %g" v }
+
+let exponential ~mean =
+  {
+    sample = (fun rng -> Rng.exponential rng ~mean);
+    mean;
+    name = Printf.sprintf "Exp(%g)" mean;
+  }
+
+let choice xs =
+  match xs with
+  | [] -> invalid_arg "Dist.choice: empty"
+  | _ ->
+      let arr = Array.of_list xs in
+      {
+        sample = (fun rng -> arr.(Rng.int rng (Array.length arr)));
+        mean = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs);
+        name = "choice";
+      }
+
+let sample_int t rng = int_of_float (Float.round (t.sample rng))
+
+let piecewise ~name points =
+  (match points with
+  | [] | [ _ ] -> invalid_arg "Dist.piecewise: need at least two points"
+  | (_, p0) :: _ ->
+      if p0 <> 0. then invalid_arg "Dist.piecewise: first probability must be 0");
+  let rec validate = function
+    | (v1, p1) :: ((v2, p2) :: _ as rest) ->
+        if v2 < v1 || p2 < p1 then
+          invalid_arg "Dist.piecewise: breakpoints must be non-decreasing";
+        validate rest
+    | [ (_, plast) ] ->
+        if plast <> 1. then
+          invalid_arg "Dist.piecewise: last probability must be 1"
+    | [] -> ()
+  in
+  validate points;
+  let arr = Array.of_list points in
+  let sample rng =
+    let u = Rng.float rng 1.0 in
+    (* Find the segment [p_i, p_{i+1}) containing u. *)
+    let rec seg i =
+      if i >= Array.length arr - 2 then Array.length arr - 2
+      else if u < snd arr.(i + 1) then i
+      else seg (i + 1)
+    in
+    let i = seg 0 in
+    let v1, p1 = arr.(i) and v2, p2 = arr.(i + 1) in
+    if p2 = p1 then v1 else v1 +. ((v2 -. v1) *. (u -. p1) /. (p2 -. p1))
+  in
+  (* Mean of the piecewise-linear interpolation: each segment contributes
+     its probability mass times its midpoint. *)
+  let mean = ref 0. in
+  for i = 0 to Array.length arr - 2 do
+    let v1, p1 = arr.(i) and v2, p2 = arr.(i + 1) in
+    mean := !mean +. ((p2 -. p1) *. (v1 +. v2) /. 2.)
+  done;
+  { sample; mean = !mean; name }
+
+(* Piecewise approximations of the flow-size CDFs used throughout the
+   data-center transport literature (DCTCP production cluster and VL2). *)
+let web_search_bytes =
+  piecewise ~name:"web-search"
+    [
+      (1_000., 0.0);
+      (10_000., 0.15);
+      (20_000., 0.25);
+      (30_000., 0.35);
+      (50_000., 0.45);
+      (100_000., 0.53);
+      (300_000., 0.60);
+      (1_000_000., 0.70);
+      (2_000_000., 0.80);
+      (5_000_000., 0.90);
+      (10_000_000., 0.97);
+      (30_000_000., 1.0);
+    ]
+
+let data_mining_bytes =
+  piecewise ~name:"data-mining"
+    [
+      (100., 0.0);
+      (180., 0.10);
+      (250., 0.20);
+      (560., 0.30);
+      (900., 0.40);
+      (1_100., 0.50);
+      (60_000., 0.60);
+      (380_000., 0.70);
+      (2_500_000., 0.80);
+      (10_000_000., 0.90);
+      (100_000_000., 1.0);
+    ]

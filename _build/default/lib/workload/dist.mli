@@ -1,0 +1,32 @@
+(** Workload distributions with known means (so scenarios can convert an
+    offered load into a Poisson arrival rate analytically). *)
+
+type t = { sample : Rng.t -> float; mean : float; name : string }
+
+(** Uniform on [a, b]. *)
+val uniform : float -> float -> t
+
+val constant : float -> t
+val exponential : mean:float -> t
+
+(** Uniform over an explicit choice list (equal weights). *)
+val choice : float list -> t
+
+(** [piecewise ~name points] builds a distribution from an empirical CDF
+    given as [(value, cumulative probability)] breakpoints, sampled by
+    inverse-transform with linear interpolation between breakpoints. The
+    first point must have probability 0 and the last probability 1, with
+    both coordinates non-decreasing. The mean is the exact mean of the
+    interpolated distribution. *)
+val piecewise : name:string -> (float * float) list -> t
+
+(** The DCTCP/pFabric "web search" flow-size distribution (bytes):
+    mice-heavy with a long multi-megabyte tail. Approximates the published
+    CDF with piecewise-linear breakpoints. *)
+val web_search_bytes : t
+
+(** The VL2/pFabric "data mining" flow-size distribution (bytes): more than
+    half the flows are tiny, most bytes live in >1 MB flows. *)
+val data_mining_bytes : t
+
+val sample_int : t -> Rng.t -> int

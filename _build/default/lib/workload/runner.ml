@@ -1,0 +1,265 @@
+type protocol = Dctcp | D2tcp | L2dct | Pfabric | Pdq | D3 | Pase of Config.t
+
+let name = function
+  | Dctcp -> "DCTCP"
+  | D2tcp -> "D2TCP"
+  | L2dct -> "L2DCT"
+  | Pfabric -> "pFabric"
+  | Pdq -> "PDQ"
+  | D3 -> "D3"
+  | Pase cfg ->
+      if not cfg.Config.use_ref_rate then "PASE-DCTCP"
+      else if cfg.Config.local_only then "PASE-local"
+      else if cfg.Config.scheduling = Config.Task_aware then "PASE-task"
+      else "PASE"
+
+let pase = Pase Config.default
+
+type result = {
+  scenario : string;
+  protocol : string;
+  load : float;
+  fct : Fct.t;
+  afct : float;
+  p99 : float;
+  app_throughput : float;
+  loss_rate : float;
+  ctrl_msgs : int;
+  ctrl_msg_rate : float;
+  duration : float;
+  events : int;
+  completed : int;
+  censored : int;
+}
+
+let mss = 1460
+
+(* ECN marking threshold K, scaled with link speed as in the DCTCP
+   guidelines (65 packets at 10 Gbps, 20 at 1 Gbps). *)
+let mark_threshold_for rate_bps = if rate_bps >= 5e9 then 65 else 20
+
+let qdisc_for protocol counters ~rtt =
+  (* Packets of one edge-link (1 Gbps) bandwidth-delay product. *)
+  let bdp_pkts rate_bps =
+    rate_bps *. rtt /. float_of_int (8 * (mss + Packet.header_bytes))
+  in
+  match protocol with
+  | Dctcp | D2tcp | L2dct ->
+      fun ~rate_bps ->
+        Queue_disc.red_ecn counters ~limit_pkts:225
+          ~mark_threshold:(mark_threshold_for rate_bps)
+  | Pfabric ->
+      (* Table 3 verbatim: 76-packet ports (= 2 x the BDP the paper sizes
+         against). *)
+      fun ~rate_bps:_ -> Pfabric_queue.create counters ~limit_pkts:76
+  | Pdq ->
+      (* PDQ argues for (and depends on) near-empty queues: it provisions
+         only a little over one BDP of buffering. Rate-update staleness
+         under heavy churn then surfaces as drops + RTOs, the flow-switching
+         cost Fig 2 measures. *)
+      fun ~rate_bps ->
+        let scale = if rate_bps >= 5e9 then 10. else 1. in
+        let limit = max 12 (int_of_float (1.6 *. scale *. bdp_pkts 1e9)) in
+        Queue_disc.droptail counters ~limit_pkts:limit
+  | D3 -> fun ~rate_bps:_ -> Queue_disc.droptail counters ~limit_pkts:225
+  | Pase cfg ->
+      fun ~rate_bps ->
+        Prio_queue.create counters ~bands:cfg.Config.num_queues
+          ~limit_pkts:cfg.Config.queue_limit_pkts
+          ~mark_threshold:(mark_threshold_for rate_bps)
+
+let run ?horizon protocol scenario =
+  Packet.reset_ids ();
+  let engine = Engine.create () in
+  let counters = Counters.create () in
+  let qdisc = qdisc_for protocol counters ~rtt:(Scenario.nominal_rtt scenario) in
+  let plan = Scenario.build scenario engine counters ~qdisc in
+  let topo = plan.Scenario.topo in
+  let net = topo.Topology.net in
+  let fct = Fct.create () in
+  let hierarchy =
+    match protocol with
+    | Pase cfg ->
+        let base_rate_bps = 8. *. float_of_int (mss + Packet.header_bytes) /. plan.Scenario.rtt in
+        (* Arbitration runs once per RTT (sec 3.1); track the topology's. *)
+        let cfg =
+          { cfg with Config.arb_period = Float.min cfg.Config.arb_period plan.Scenario.rtt }
+        in
+        let h = Hierarchy.create engine counters cfg topo ~base_rate_bps in
+        Hierarchy.start h;
+        Some h
+    | Dctcp | D2tcp | L2dct | Pfabric | Pdq | D3 -> None
+  in
+  let pdq_arbs : (int * int, Pdq.Arbiter.t) Hashtbl.t = Hashtbl.create 32 in
+  let d3_routers : (int * int, D3.Router.t) Hashtbl.t = Hashtbl.create 32 in
+  let d3_routers_for ~flow src dst =
+    let rec links acc = function
+      | a :: (b :: _ as rest) ->
+          let router =
+            match Hashtbl.find_opt d3_routers (a, b) with
+            | Some r -> r
+            | None ->
+                let link =
+                  match Net.link_from net a b with
+                  | Some l -> l
+                  | None -> assert false
+                in
+                let r = D3.Router.create ~capacity_bps:(Link.rate_bps link) in
+                Hashtbl.replace d3_routers (a, b) r;
+                r
+          in
+          links (router :: acc) rest
+      | _ -> List.rev acc
+    in
+    links [] (Net.route net ~flow ~src ~dst ())
+  in
+  let pdq_arbiters_for ~flow src dst =
+    let rec links acc = function
+      | a :: (b :: _ as rest) ->
+          let arb =
+            match Hashtbl.find_opt pdq_arbs (a, b) with
+            | Some arb -> arb
+            | None ->
+                let link =
+                  match Net.link_from net a b with
+                  | Some l -> l
+                  | None -> assert false
+                in
+                let arb = Pdq.Arbiter.create ~capacity_bps:(Link.rate_bps link) in
+                Hashtbl.replace pdq_arbs (a, b) arb;
+                arb
+          in
+          links (arb :: acc) rest
+      | _ -> List.rev acc
+    in
+    links [] (Net.route net ~flow ~src ~dst ())
+  in
+  let measured =
+    List.filter (fun s -> not s.Scenario.long_lived) plan.Scenario.specs
+  in
+  let total_measured = List.length measured in
+  let completed = ref 0 in
+  let open_flows : (int, Scenario.flow_spec) Hashtbl.t = Hashtbl.create 256 in
+  let next_id = ref 0 in
+  let launch (spec : Scenario.flow_spec) =
+    let id = !next_id in
+    incr next_id;
+    let size_pkts =
+      if spec.Scenario.long_lived then Flow.long_lived_size
+      else Flow.size_pkts_of_bytes ~mss spec.Scenario.size_bytes
+    in
+    let flow =
+      Flow.make ~id ~src:spec.Scenario.src ~dst:spec.Scenario.dst ~size_pkts
+        ~start_time:(Engine.now engine) ?deadline:spec.Scenario.deadline ()
+    in
+    let init_rtt =
+      Topology.base_rtt topo ~src:spec.Scenario.src ~dst:spec.Scenario.dst
+        ~data_bytes:(mss + Packet.header_bytes)
+    in
+    let recv = Receiver.create net ~flow ~ack_tos:0 ~ack_prio:0. () in
+    if not spec.Scenario.long_lived then Hashtbl.replace open_flows id spec;
+    (* Zero-load FCT: base RTT plus serialization of the remaining train at
+       the edge rate (slowdown denominator). *)
+    let ideal =
+      init_rtt
+      +. float_of_int ((size_pkts - 1) * 8 * (mss + Packet.header_bytes))
+         /. topo.Topology.edge_rate_bps
+    in
+    let on_complete _sender ~fct:flow_fct =
+      Receiver.stop recv;
+      if not spec.Scenario.long_lived then begin
+        Hashtbl.remove open_flows id;
+        Fct.add fct ~flow:id ~size_pkts ~start_time:flow.Flow.start_time
+          ~fct:flow_fct ?deadline:spec.Scenario.deadline ~ideal
+          ?task:spec.Scenario.task ();
+        incr completed;
+        if !completed = total_measured then Engine.stop engine
+      end
+    in
+    match protocol with
+    | Dctcp ->
+        Sender_base.start
+          (Dctcp.create net ~flow ~conf:(Dctcp.conf ~init_rtt ()) ~on_complete ())
+    | D2tcp ->
+        Sender_base.start
+          (D2tcp.create net ~flow ~conf:(D2tcp.conf ~init_rtt ()) ~on_complete ())
+    | L2dct ->
+        Sender_base.start
+          (L2dct.create net ~flow ~conf:(L2dct.conf ~init_rtt ()) ~on_complete ())
+    | Pfabric ->
+        (* Table 3 verbatim: flows start at a 38-segment window (line rate
+           for over an RTT on every topology evaluated). *)
+        Sender_base.start
+          (Pfabric_host.create net ~flow
+             ~conf:(Pfabric_host.conf ~init_rtt ~init_cwnd:38. ())
+             ~on_complete ())
+    | Pdq ->
+        let arbiters = pdq_arbiters_for ~flow:id spec.Scenario.src spec.Scenario.dst in
+        Pdq.start
+          (Pdq.create net ~flow ~arbiters ~rtt:init_rtt
+             ~conf:(Pdq.conf ~init_rtt ()) ~on_complete ())
+    | D3 ->
+        let routers = d3_routers_for ~flow:id spec.Scenario.src spec.Scenario.dst in
+        D3.start
+          (D3.create net ~flow ~routers ~rtt:init_rtt
+             ~conf:(D3.conf ~init_rtt ()) ~on_complete ())
+    | Pase cfg ->
+        let h =
+          match hierarchy with Some h -> h | None -> assert false
+        in
+        (* Task-aware scheduling: all flows of a task share one criterion,
+           tasks served in arrival order (task ids are assigned in arrival
+           order by the scenario). *)
+        let criterion_override =
+          match (cfg.Config.scheduling, spec.Scenario.task) with
+          | Config.Task_aware, Some task -> Some (fun () -> float_of_int task)
+          | (Config.Task_aware | Config.Srpt | Config.Edf), _ -> None
+        in
+        Pase_host.start
+          (Pase_host.create net h ~flow ~cfg ~rtt:init_rtt
+             ~nic_bps:topo.Topology.edge_rate_bps ?criterion_override
+             ~on_complete ())
+  in
+  List.iter
+    (fun spec ->
+      Engine.schedule_at engine ~time:spec.Scenario.start (fun () -> launch spec))
+    plan.Scenario.specs;
+  let last_arrival =
+    List.fold_left (fun acc s -> Float.max acc s.Scenario.start) 0.
+      plan.Scenario.specs
+  in
+  let horizon =
+    match horizon with Some h -> h | None -> last_arrival +. 5.0
+  in
+  Engine.run ~until:horizon engine;
+  (match hierarchy with Some h -> Hierarchy.stop h | None -> ());
+  let end_time = Engine.now engine in
+  (* Flows still open at the horizon are censored. *)
+  Hashtbl.iter
+    (fun id (spec : Scenario.flow_spec) ->
+      Fct.add fct ~flow:id
+        ~size_pkts:(Flow.size_pkts_of_bytes ~mss spec.Scenario.size_bytes)
+        ~start_time:spec.Scenario.start
+        ~fct:(Float.max 0. (end_time -. spec.Scenario.start))
+        ?deadline:spec.Scenario.deadline ~censored:true ())
+    open_flows;
+  let completed_fcts = Fct.completed_fcts fct in
+  {
+    scenario = scenario.Scenario.name;
+    protocol = name protocol;
+    load = scenario.Scenario.load;
+    fct;
+    afct = (if completed_fcts = [] then nan else Summary.mean completed_fcts);
+    p99 =
+      (if completed_fcts = [] then nan else Summary.percentile 99. completed_fcts);
+    app_throughput = Fct.deadline_met_fraction fct;
+    loss_rate = Counters.loss_rate counters;
+    ctrl_msgs = counters.Counters.ctrl_msgs;
+    ctrl_msg_rate =
+      (if end_time > 0. then float_of_int counters.Counters.ctrl_msgs /. end_time
+       else 0.);
+    duration = end_time;
+    events = Engine.events_processed engine;
+    completed = !completed;
+    censored = Fct.censored_count fct;
+  }

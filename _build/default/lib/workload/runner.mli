@@ -1,0 +1,38 @@
+(** Experiment runner: materialise a scenario, attach one transport per
+    flow, simulate, and collect the paper's metrics. *)
+
+type protocol =
+  | Dctcp
+  | D2tcp
+  | L2dct
+  | Pfabric
+  | Pdq
+  | D3
+  | Pase of Config.t
+
+val name : protocol -> string
+
+(** PASE with the paper's default configuration. *)
+val pase : protocol
+
+type result = {
+  scenario : string;
+  protocol : string;
+  load : float;
+  fct : Fct.t;  (** per-flow records (completed + censored) *)
+  afct : float;  (** seconds, over completed flows *)
+  p99 : float;  (** 99th-percentile FCT, seconds *)
+  app_throughput : float;  (** deadline-met fraction; [nan] if no deadlines *)
+  loss_rate : float;
+  ctrl_msgs : int;
+  ctrl_msg_rate : float;  (** control messages per simulated second *)
+  duration : float;  (** simulated time at the end of the run *)
+  events : int;
+  completed : int;
+  censored : int;
+}
+
+(** [run ?horizon protocol scenario] executes one simulation. The run ends
+    when every measured flow completes or at [horizon] (default: last
+    arrival + 5 s); unfinished measured flows are recorded as censored. *)
+val run : ?horizon:float -> protocol -> Scenario.t -> result

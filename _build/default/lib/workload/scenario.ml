@@ -1,0 +1,293 @@
+type pattern =
+  | Left_right
+  | Intra_rack of int
+  | Incast of { hosts : int; aggregators : int }
+  | Fat_tree of int
+  | Testbed
+
+type t = {
+  name : string;
+  pattern : pattern;
+  size_bytes : Dist.t;
+  deadline_s : Dist.t option;
+  load : float;
+  num_flows : int;
+  background_flows : int;
+  seed : int;
+}
+
+type flow_spec = {
+  src : int;
+  dst : int;
+  size_bytes : int;
+  start : float;
+  deadline : float option;
+  long_lived : bool;
+  task : int option;  (* task (query) id for task-aware scheduling *)
+}
+
+type plan = {
+  topo : Topology.t;
+  specs : flow_spec list;
+  rtt : float;
+  bottleneck_bps : float;
+  arrival_rate : float;
+}
+
+let gbps = 1e9
+
+let left_right ?(num_flows = 1000) ?(seed = 1) ~load () =
+  {
+    name = "left-right";
+    pattern = Left_right;
+    size_bytes = Dist.uniform 2e3 198e3;
+    deadline_s = None;
+    load;
+    num_flows;
+    background_flows = 2;
+    seed;
+  }
+
+let deadline_intra_rack ?(num_flows = 800) ?(seed = 1) ~load () =
+  {
+    name = "deadline-intra-rack";
+    pattern = Intra_rack 20;
+    size_bytes = Dist.uniform 100e3 500e3;
+    deadline_s = Some (Dist.uniform 0.005 0.025);
+    load;
+    num_flows;
+    background_flows = 2;
+    seed;
+  }
+
+let intra_rack_medium ?(num_flows = 800) ?(seed = 1) ~load () =
+  {
+    name = "intra-rack-medium";
+    pattern = Intra_rack 20;
+    size_bytes = Dist.uniform 100e3 500e3;
+    deadline_s = None;
+    load;
+    num_flows;
+    background_flows = 2;
+    seed;
+  }
+
+let worker_aggregator ?(hosts = 40) ?aggregators ?(num_flows = 1000) ?(seed = 1)
+    ~load () =
+  {
+    name =
+      (match aggregators with
+      | None -> "worker-aggregator"
+      | Some a -> Printf.sprintf "worker-aggregator-a%d" a);
+    pattern =
+      Incast
+        { hosts; aggregators = (match aggregators with Some a -> a | None -> hosts) };
+    size_bytes = Dist.uniform 2e3 198e3;
+    deadline_s = None;
+    load;
+    num_flows;
+    background_flows = 0;
+    seed;
+  }
+
+let worker_uniform ?(hosts = 40) ?(num_flows = 1000) ?(seed = 1) ~load () =
+  {
+    name = "worker-uniform";
+    pattern = Intra_rack hosts;
+    size_bytes = Dist.uniform 2e3 198e3;
+    deadline_s = None;
+    load;
+    num_flows;
+    background_flows = 0;
+    seed;
+  }
+
+let empirical ~dist ?(hosts = 40) ?(num_flows = 400) ?(seed = 1) ~load () =
+  {
+    name = Printf.sprintf "empirical-%s" dist.Dist.name;
+    pattern = Intra_rack hosts;
+    size_bytes = dist;
+    deadline_s = None;
+    load;
+    num_flows;
+    background_flows = 0;
+    seed;
+  }
+
+let web_search ?hosts ?num_flows ?seed ~load () =
+  empirical ~dist:Dist.web_search_bytes ?hosts ?num_flows ?seed ~load ()
+
+let data_mining ?hosts ?num_flows ?seed ~load () =
+  empirical ~dist:Dist.data_mining_bytes ?hosts ?num_flows ?seed ~load ()
+
+let fat_tree_uniform ?(k = 4) ?(num_flows = 1000) ?(seed = 1) ~load () =
+  {
+    name = Printf.sprintf "fat-tree-k%d" k;
+    pattern = Fat_tree k;
+    size_bytes = Dist.uniform 2e3 198e3;
+    deadline_s = None;
+    load;
+    num_flows;
+    background_flows = 2;
+    seed;
+  }
+
+let testbed ?(num_flows = 1000) ?(seed = 1) ~load () =
+  {
+    name = "testbed";
+    pattern = Testbed;
+    size_bytes = Dist.uniform 100e3 500e3;
+    deadline_s = None;
+    load;
+    num_flows;
+    background_flows = 1;
+    seed;
+  }
+
+(* Bottleneck against which the offered load is measured:
+   - left-right: the 10 Gbps agg-core link on the left half;
+   - intra-rack all-to-all with n hosts: the n edge links in aggregate
+     (uniform destinations load each access link at [load]);
+   - testbed: the server's 1 Gbps access link. *)
+let bottleneck_of pattern =
+  match pattern with
+  | Left_right -> 10. *. gbps
+  | Intra_rack n | Incast { hosts = n; _ } -> float_of_int n *. gbps
+  | Fat_tree k -> float_of_int (k * k * k / 4) *. gbps
+  | Testbed -> gbps
+
+let make_topology t engine counters ~qdisc =
+  match t.pattern with
+  | Left_right ->
+      Topology.three_tier engine counters ~hosts_per_tor:40 ~tors:4 ~aggs:2
+        ~edge_rate_bps:gbps ~fabric_rate_bps:(10. *. gbps)
+        ~link_delay_s:25e-6 ~qdisc
+  | Intra_rack n | Incast { hosts = n; _ } ->
+      Topology.single_rack engine counters ~hosts:n ~rate_bps:gbps
+        ~link_delay_s:25e-6 ~qdisc
+  | Fat_tree k ->
+      Topology.fat_tree engine counters ~k ~rate_bps:gbps ~link_delay_s:25e-6
+        ~qdisc
+  | Testbed ->
+      (* 250 us propagation RTT: 4 link traversals per round trip. *)
+      Topology.single_rack engine counters ~hosts:10 ~rate_bps:gbps
+        ~link_delay_s:62.5e-6 ~qdisc
+
+let pick_pair t (topo : Topology.t) rng =
+  let hosts = topo.Topology.hosts in
+  match t.pattern with
+  | Left_right ->
+      (* Left subtree = first two racks (80 hosts), right = the rest. *)
+      let src = hosts.(Rng.int rng 80) in
+      let dst = hosts.(80 + Rng.int rng (Array.length hosts - 80)) in
+      (src, dst)
+  | Intra_rack n | Incast { hosts = n; _ } ->
+      let src = hosts.(Rng.int rng n) in
+      let rec pick () =
+        let d = hosts.(Rng.int rng n) in
+        if d = src then pick () else d
+      in
+      (src, pick ())
+  | Fat_tree _ ->
+      let n = Array.length hosts in
+      let src = hosts.(Rng.int rng n) in
+      let rec pick () =
+        let d = hosts.(Rng.int rng n) in
+        if d = src then pick () else d
+      in
+      (src, pick ())
+  | Testbed ->
+      (* Clients 0..8 send to the server (host 9). *)
+      (hosts.(Rng.int rng 9), hosts.(9))
+
+(* Propagation plus one data serialization per hop, rounded generously;
+   matches Topology.base_rtt within ~10%. *)
+let nominal_rtt t =
+  match t.pattern with
+  | Left_right -> 0.00033
+  | Intra_rack _ | Incast _ -> 0.000125
+  | Fat_tree _ -> 0.00037
+  | Testbed -> 0.000275
+
+let build t engine counters ~qdisc =
+  if t.load <= 0. || t.load > 1. then invalid_arg "Scenario.build: load";
+  let topo = make_topology t engine counters ~qdisc in
+  let rng = Rng.create (t.seed * 7919) in
+  let mean_bits = 8. *. t.size_bytes.Dist.mean in
+  let bottleneck_bps = bottleneck_of t.pattern in
+  let arrival_rate = t.load *. bottleneck_bps /. mean_bits in
+  let background =
+    List.init t.background_flows (fun _ ->
+        let src, dst = pick_pair t topo rng in
+        {
+          src;
+          dst;
+          size_bytes = max_int;
+          start = 0.;
+          deadline = None;
+          long_lived = true;
+          task = None;
+        })
+  in
+  let clock = ref 0. in
+  let sample_deadline () =
+    match t.deadline_s with
+    | None -> None
+    | Some d -> Some (d.Dist.sample rng)
+  in
+  let arrivals =
+    match t.pattern with
+    | Incast { hosts = n; aggregators } ->
+        (* Query-driven search traffic (§2.1, Fig 4): each query makes every
+           other host in the rack send one response flow to the aggregator;
+           aggregators rotate round-robin over the first [aggregators]
+           hosts. A query occupies the aggregator's downlink for (n-1)
+           flows; with [a] aggregators the sustainable query rate at [load]
+           is load * a * C / ((n-1) * mean_bits). *)
+        let fanout = n - 1 in
+        let queries = max 1 (t.num_flows / fanout) in
+        let query_rate =
+          t.load *. float_of_int aggregators *. gbps
+          /. (float_of_int fanout *. mean_bits)
+        in
+        let hosts = topo.Topology.hosts in
+        List.concat
+          (List.init queries (fun q ->
+               clock := !clock +. Rng.exponential rng ~mean:(1. /. query_rate);
+               let agg = hosts.(q mod aggregators) in
+               List.filter_map
+                 (fun src ->
+                   if src = agg then None
+                   else
+                     Some
+                       {
+                         src;
+                         dst = agg;
+                         size_bytes = max 1 (Dist.sample_int t.size_bytes rng);
+                         start = !clock;
+                         deadline = sample_deadline ();
+                         long_lived = false;
+                         task = Some q;
+                       })
+                 (Array.to_list hosts)))
+    | Left_right | Intra_rack _ | Fat_tree _ | Testbed ->
+        List.init t.num_flows (fun _ ->
+            clock := !clock +. Rng.exponential rng ~mean:(1. /. arrival_rate);
+            let src, dst = pick_pair t topo rng in
+            let size = max 1 (Dist.sample_int t.size_bytes rng) in
+            {
+              src;
+              dst;
+              size_bytes = size;
+              start = !clock;
+              deadline = sample_deadline ();
+              long_lived = false;
+              task = None;
+            })
+  in
+  let rtt =
+    let hosts = topo.Topology.hosts in
+    let src = hosts.(0) and dst = hosts.(Array.length hosts - 1) in
+    Topology.base_rtt topo ~src ~dst ~data_bytes:1500
+  in
+  { topo; specs = background @ arrivals; rtt; bottleneck_bps; arrival_rate }

@@ -1,0 +1,111 @@
+(** The paper's evaluation scenarios (§2, §4.1, §4.4): topology choice,
+    traffic pattern, flow sizes/deadlines, and the load-to-arrival-rate
+    conversion. A scenario is a pure description; {!build} materialises the
+    topology and the (seeded, deterministic) flow schedule. *)
+
+type pattern =
+  | Left_right
+      (** three-tier baseline; 80 left-subtree hosts send to right-subtree
+          hosts through the 10 Gbps agg-core bottleneck (§4.2.1) *)
+  | Intra_rack of int
+      (** single rack of [n] hosts, uniformly random src/dst pairs *)
+  | Incast of { hosts : int; aggregators : int }
+      (** single rack; query-driven search traffic: each query makes every
+          other host send one response flow to an aggregator picked
+          round-robin among the first [aggregators] hosts (Fig 10c's
+          worker-aggregator pattern; a small [aggregators] creates
+          hotspots where queries overlap) *)
+  | Fat_tree of int
+      (** k-ary fat-tree (extension): k^3/4 hosts, uniform random pairs,
+          per-flow ECMP over the equal-cost core paths *)
+  | Testbed
+      (** 10-node 1 Gbps rack, 9 clients sending to 1 server (§4.4) *)
+
+type t = {
+  name : string;
+  pattern : pattern;
+  size_bytes : Dist.t;
+  deadline_s : Dist.t option;
+  load : float;  (** offered load on the pattern's bottleneck, in (0, 1] *)
+  num_flows : int;  (** measured (short) flows *)
+  background_flows : int;  (** long-lived flows started at t = 0 *)
+  seed : int;
+}
+
+type flow_spec = {
+  src : int;
+  dst : int;
+  size_bytes : int;
+  start : float;
+  deadline : float option;
+  long_lived : bool;
+  task : int option;
+      (** task (query) id: set for [Incast] queries, used by task-aware
+          scheduling (paper §3.1.1's task-id criterion) *)
+}
+
+type plan = {
+  topo : Topology.t;
+  specs : flow_spec list;  (** background first, then arrivals by start *)
+  rtt : float;  (** representative zero-load RTT across the topology *)
+  bottleneck_bps : float;
+  arrival_rate : float;  (** flows per second *)
+}
+
+(** {2 Paper scenarios} *)
+
+(** Fig 9a/9b/10a/10b/11/12: left-right, sizes U[2 KB, 198 KB], two
+    long background flows. *)
+val left_right : ?num_flows:int -> ?seed:int -> load:float -> unit -> t
+
+(** Fig 1/9c: D2TCP §4.1.3 replica — 20-host rack, sizes U[100 KB, 500 KB],
+    deadlines U[5 ms, 25 ms], two background flows. *)
+val deadline_intra_rack : ?num_flows:int -> ?seed:int -> load:float -> unit -> t
+
+(** Fig 2/13a: same rack and sizes, no deadlines. *)
+val intra_rack_medium : ?num_flows:int -> ?seed:int -> load:float -> unit -> t
+
+(** Fig 10c: search worker-aggregator rack with query-synchronised
+    (round-robin aggregator) responses, sizes U[2 KB, 198 KB]. *)
+val worker_aggregator :
+  ?hosts:int -> ?aggregators:int -> ?num_flows:int -> ?seed:int ->
+  load:float -> unit -> t
+
+(** Fig 4: per-flow variant of the search workload — uniformly random
+    worker/aggregator pairs with Poisson arrivals (no query
+    synchronisation). *)
+val worker_uniform :
+  ?hosts:int -> ?num_flows:int -> ?seed:int -> load:float -> unit -> t
+
+(** Extension: all-to-all rack traffic with an empirical flow-size
+    distribution (the literature's web-search / data-mining CDFs). *)
+val empirical :
+  dist:Dist.t -> ?hosts:int -> ?num_flows:int -> ?seed:int -> load:float ->
+  unit -> t
+
+val web_search :
+  ?hosts:int -> ?num_flows:int -> ?seed:int -> load:float -> unit -> t
+
+val data_mining :
+  ?hosts:int -> ?num_flows:int -> ?seed:int -> load:float -> unit -> t
+
+(** Extension: k-ary fat-tree with uniform random pairs, U[2 KB, 198 KB]
+    flows, two long background flows. *)
+val fat_tree_uniform :
+  ?k:int -> ?num_flows:int -> ?seed:int -> load:float -> unit -> t
+
+(** Fig 13b: testbed replica — 10 nodes, sizes U[100 KB, 500 KB], one
+    background flow, 250 us RTT. *)
+val testbed : ?num_flows:int -> ?seed:int -> load:float -> unit -> t
+
+(** Estimate of the zero-load RTT the pattern's topology yields (used to
+    size BDP-proportional buffers before the topology exists). *)
+val nominal_rtt : t -> float
+
+(** [build t engine counters ~qdisc] materialises topology and schedule. *)
+val build :
+  t ->
+  Engine.t ->
+  Counters.t ->
+  qdisc:(rate_bps:float -> Queue_disc.t) ->
+  plan

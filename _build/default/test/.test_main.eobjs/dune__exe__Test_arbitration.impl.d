@@ -1,0 +1,1 @@
+test/test_arbitration.ml: Alcotest Arbitration Hashtbl List Printf QCheck QCheck_alcotest

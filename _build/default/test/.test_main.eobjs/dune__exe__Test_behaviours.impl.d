@@ -1,0 +1,1 @@
+test/test_behaviours.ml: Alcotest Array Config Counters Ecn_cc Engine Float Flow Hashtbl Hierarchy List Net Packet Pase_host Pdq Printf Prio_queue Queue_disc Receiver Sender_base Topology

@@ -1,0 +1,1 @@
+test/test_d3.ml: Alcotest D3 Runner Scenario

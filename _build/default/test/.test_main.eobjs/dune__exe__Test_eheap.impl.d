@@ -1,0 +1,1 @@
+test/test_eheap.ml: Alcotest Eheap Fun List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Arbitrator Array Config Counters Engine Fct Float Flow Hierarchy List Printf Prio_queue Queue_disc Runner Scenario Summary Topology

@@ -1,0 +1,1 @@
+test/test_fat_tree.ml: Alcotest Array Counters Engine Hashtbl List Net Packet Printf Queue_disc Runner Scenario Topology

@@ -1,0 +1,1 @@
+test/test_laws.ml: Alcotest Array Config Counters D2tcp Ecn_cc Engine Float Flow Hierarchy List Packet Pase_host Printf Prio_queue Queue_disc Receiver Sender_base Topology

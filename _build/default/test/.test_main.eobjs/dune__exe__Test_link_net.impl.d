@@ -1,0 +1,1 @@
+test/test_link_net.ml: Alcotest Array Counters Engine Link List Net Packet Prio_queue Queue_disc Topology

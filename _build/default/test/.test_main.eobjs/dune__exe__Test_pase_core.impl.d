@@ -1,0 +1,1 @@
+test/test_pase_core.ml: Alcotest Arbitrator Array Config Counters Engine Flow Hierarchy List Option Packet Pase_host Printf Prio_queue Receiver Topology

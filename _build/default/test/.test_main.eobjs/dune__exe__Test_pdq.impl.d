@@ -1,0 +1,1 @@
+test/test_pdq.ml: Alcotest Array Counters Engine Flow Hashtbl Link List Net Option Packet Pdq Printf Queue_disc Receiver Topology

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Counters D2tcp Dctcp Ecn_cc Engine Float Flow L2dct List Net Option Packet Pfabric_host Pfabric_queue Printf Queue_disc Receiver Sender_base Topology

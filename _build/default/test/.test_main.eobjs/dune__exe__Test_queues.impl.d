@@ -1,0 +1,1 @@
+test/test_queues.ml: Alcotest Counters List Option Packet Pfabric_queue Prio_queue QCheck QCheck_alcotest Queue_disc

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Float QCheck QCheck_alcotest Rng

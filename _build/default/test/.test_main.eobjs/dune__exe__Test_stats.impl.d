@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Counters Dist Engine Fct Float List Printf Queue_disc Rng Scenario Series Summary

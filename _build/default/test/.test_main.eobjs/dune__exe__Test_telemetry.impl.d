@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Alcotest Counters Engine Float Link List Packet Printf Queue_disc Telemetry

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Array Counters Engine Flow List Net Option Packet Printf Queue_disc Receiver Seg_store Sender_base Topology

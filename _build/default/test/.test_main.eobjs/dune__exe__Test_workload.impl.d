@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Config Counters Engine Float Hashtbl List Queue_disc Runner Scenario Topology

@@ -1,0 +1,163 @@
+(* Algorithm 1 (pure): queue assignment, reference rates, and invariants. *)
+
+let inp flow criterion demand =
+  { Arbitration.flow; criterion; demand_bps = demand }
+
+let assign ?(cap = 1e9) ?(nq = 8) ?(base = 1e5) flows =
+  Arbitration.assign ~capacity_bps:cap ~num_queues:nq ~base_rate_bps:base flows
+
+let find fid outs =
+  List.find (fun o -> o.Arbitration.out_flow = fid) outs
+
+let test_single_flow_top_queue () =
+  let outs = assign [ inp 1 10. 1e9 ] in
+  let o = find 1 outs in
+  Alcotest.(check int) "top queue" 0 o.Arbitration.queue;
+  Alcotest.(check (float 1.)) "full capacity" 1e9 o.Arbitration.rref_bps
+
+let test_demand_capped_by_capacity () =
+  let outs = assign [ inp 1 10. 5e9 ] in
+  Alcotest.(check (float 1.)) "capped" 1e9 (find 1 outs).Arbitration.rref_bps
+
+let test_two_small_flows_share_top () =
+  let outs = assign [ inp 1 10. 0.4e9; inp 2 20. 0.4e9 ] in
+  Alcotest.(check int) "first top" 0 (find 1 outs).Arbitration.queue;
+  Alcotest.(check int) "second top too" 0 (find 2 outs).Arbitration.queue;
+  Alcotest.(check (float 1.)) "own demand" 0.4e9 (find 2 outs).Arbitration.rref_bps
+
+let test_leftover_rate () =
+  let outs = assign [ inp 1 10. 0.7e9; inp 2 20. 0.6e9 ] in
+  (* Second flow's reference rate is the residual capacity. *)
+  Alcotest.(check (float 1.)) "residual" 0.3e9 (find 2 outs).Arbitration.rref_bps;
+  Alcotest.(check int) "still top queue" 0 (find 2 outs).Arbitration.queue
+
+let test_saturating_flows_stack_queues () =
+  (* Full-demand flows: one per queue level. *)
+  let outs = assign (List.init 5 (fun i -> inp i (float_of_int i) 1e9)) in
+  List.iteri
+    (fun i _ ->
+      Alcotest.(check int)
+        (Printf.sprintf "flow %d queue" i)
+        i
+        (find i outs).Arbitration.queue)
+    outs;
+  Alcotest.(check (float 1.)) "lower queues get base rate" 1e5
+    (find 3 outs).Arbitration.rref_bps
+
+let test_lowest_queue_caps () =
+  let outs = assign ~nq:4 (List.init 10 (fun i -> inp i (float_of_int i) 1e9)) in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "queue within range" true
+        (o.Arbitration.queue >= 0 && o.Arbitration.queue < 4))
+    outs;
+  Alcotest.(check int) "overflow goes to lowest" 3 (find 9 outs).Arbitration.queue
+
+let test_priority_ordering_by_criterion () =
+  (* Smaller criterion = more important, regardless of list order. *)
+  let outs = assign [ inp 1 500. 1e9; inp 2 5. 1e9; inp 3 50. 1e9 ] in
+  Alcotest.(check int) "smallest first" 0 (find 2 outs).Arbitration.queue;
+  Alcotest.(check int) "middle second" 1 (find 3 outs).Arbitration.queue;
+  Alcotest.(check int) "largest last" 2 (find 1 outs).Arbitration.queue
+
+let test_tie_break_on_flow_id () =
+  let outs = assign [ inp 2 10. 1e9; inp 1 10. 1e9 ] in
+  Alcotest.(check int) "lower id wins tie" 0 (find 1 outs).Arbitration.queue;
+  Alcotest.(check int) "other demoted" 1 (find 2 outs).Arbitration.queue
+
+(* Invariants over random inputs. *)
+let gen_flows =
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (triple (int_range 0 1000) (float_range 1. 1e6) (float_range 1e3 2e9)))
+
+let arb_flows =
+  QCheck.make ~print:(fun l -> string_of_int (List.length l)) gen_flows
+
+let dedup_ids flows =
+  (* Distinct flow ids; keep first occurrence. *)
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (id, crit, dem) ->
+      if Hashtbl.mem seen id then None
+      else begin
+        Hashtbl.add seen id ();
+        Some (inp id crit dem)
+      end)
+    flows
+
+let prop_top_queue_rates_within_capacity =
+  QCheck.Test.make ~count:500 ~name:"sum of top-queue Rref <= capacity"
+    arb_flows (fun flows ->
+      let flows = dedup_ids flows in
+      QCheck.assume (flows <> []);
+      let outs = assign ~cap:1e9 flows in
+      let top_sum =
+        List.fold_left
+          (fun acc o ->
+            if o.Arbitration.queue = 0 then acc +. o.Arbitration.rref_bps
+            else acc)
+          0. outs
+      in
+      top_sum <= 1e9 *. (1. +. 1e-9))
+
+let prop_queue_monotone_in_priority =
+  QCheck.Test.make ~count:500
+    ~name:"higher-priority flows never sit in lower queues" arb_flows
+    (fun flows ->
+      let flows = dedup_ids flows in
+      QCheck.assume (flows <> []);
+      let outs = assign flows in
+      (* Sort outputs by the input criterion order and check queues are
+         non-decreasing. *)
+      let crit_of fid =
+        let f = List.find (fun i -> i.Arbitration.flow = fid) flows in
+        (f.Arbitration.criterion, f.Arbitration.flow)
+      in
+      let sorted =
+        List.sort
+          (fun a b ->
+            compare (crit_of a.Arbitration.out_flow) (crit_of b.Arbitration.out_flow))
+          outs
+      in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) ->
+            a.Arbitration.queue <= b.Arbitration.queue && non_decreasing rest
+        | _ -> true
+      in
+      non_decreasing sorted)
+
+let prop_every_flow_assigned =
+  QCheck.Test.make ~count:500 ~name:"every input flow gets an assignment"
+    arb_flows (fun flows ->
+      let flows = dedup_ids flows in
+      QCheck.assume (flows <> []);
+      let outs = assign flows in
+      List.length outs = List.length flows
+      && List.for_all
+           (fun i ->
+             List.exists (fun o -> o.Arbitration.out_flow = i.Arbitration.flow) outs)
+           flows)
+
+let prop_rref_positive =
+  QCheck.Test.make ~count:500 ~name:"reference rates are positive" arb_flows
+    (fun flows ->
+      let flows = dedup_ids flows in
+      QCheck.assume (flows <> []);
+      assign flows |> List.for_all (fun o -> o.Arbitration.rref_bps > 0.))
+
+let suite =
+  [
+    Alcotest.test_case "single flow top queue" `Quick test_single_flow_top_queue;
+    Alcotest.test_case "demand capped" `Quick test_demand_capped_by_capacity;
+    Alcotest.test_case "two small flows share top" `Quick test_two_small_flows_share_top;
+    Alcotest.test_case "leftover rate" `Quick test_leftover_rate;
+    Alcotest.test_case "saturating flows stack queues" `Quick test_saturating_flows_stack_queues;
+    Alcotest.test_case "lowest queue caps" `Quick test_lowest_queue_caps;
+    Alcotest.test_case "priority ordering" `Quick test_priority_ordering_by_criterion;
+    Alcotest.test_case "tie break on id" `Quick test_tie_break_on_flow_id;
+    QCheck_alcotest.to_alcotest prop_top_queue_rates_within_capacity;
+    QCheck_alcotest.to_alcotest prop_queue_monotone_in_priority;
+    QCheck_alcotest.to_alcotest prop_every_flow_assigned;
+    QCheck_alcotest.to_alcotest prop_rref_positive;
+  ]

@@ -1,0 +1,90 @@
+(* D3: router allocation (FCFS reservations + fair share) and host
+   behaviour, including the FCFS priority-inversion weakness. *)
+
+let router cap = D3.Router.create ~capacity_bps:cap
+let upd r ~flow ~req = D3.Router.update r ~flow ~request_bps:req
+
+let test_single_flow_gets_all () =
+  let r = router 1e9 in
+  upd r ~flow:1 ~req:0.3e9;
+  (* Reservation + the whole leftover as fair share. *)
+  Alcotest.(check (float 1.)) "request plus leftover" 1e9
+    (D3.Router.allocation r ~flow:1)
+
+let test_fair_share_no_deadlines () =
+  let r = router 1e9 in
+  upd r ~flow:1 ~req:0.;
+  upd r ~flow:2 ~req:0.;
+  Alcotest.(check (float 1.)) "half each" 0.5e9 (D3.Router.allocation r ~flow:1);
+  Alcotest.(check (float 1.)) "half each" 0.5e9 (D3.Router.allocation r ~flow:2)
+
+let test_reservations_first () =
+  let r = router 1e9 in
+  upd r ~flow:1 ~req:0.6e9;
+  upd r ~flow:2 ~req:0.;
+  (* flow 1: 0.6 + 0.2 fair; flow 2: 0.2 fair. *)
+  Alcotest.(check (float 1e6)) "reserver" 0.8e9 (D3.Router.allocation r ~flow:1);
+  Alcotest.(check (float 1e6)) "best effort" 0.2e9 (D3.Router.allocation r ~flow:2)
+
+let test_fcfs_priority_inversion () =
+  (* D3's published weakness: an early far-deadline flow holds its
+     reservation against a later tight-deadline flow. *)
+  let r = router 1e9 in
+  upd r ~flow:1 ~req:0.9e9;
+  (* arrives first, loose deadline *)
+  upd r ~flow:2 ~req:0.9e9;
+  (* arrives second, tight deadline *)
+  Alcotest.(check (float 1e6)) "first keeps its request" 0.9e9
+    (D3.Router.allocation r ~flow:1);
+  Alcotest.(check bool) "second is squeezed" true
+    (D3.Router.allocation r ~flow:2 < 0.2e9)
+
+let test_update_keeps_arrival_order () =
+  let r = router 1e9 in
+  upd r ~flow:1 ~req:0.9e9;
+  upd r ~flow:2 ~req:0.9e9;
+  (* Refreshing flow 1 must not demote it behind flow 2. *)
+  upd r ~flow:1 ~req:0.8e9;
+  Alcotest.(check (float 1e6)) "order stable across updates" 0.8e9
+    (D3.Router.allocation r ~flow:1)
+
+let test_remove_releases () =
+  let r = router 1e9 in
+  upd r ~flow:1 ~req:0.9e9;
+  upd r ~flow:2 ~req:0.9e9;
+  D3.Router.remove r ~flow:1;
+  Alcotest.(check int) "one left" 1 (D3.Router.flows r);
+  Alcotest.(check (float 1e6)) "capacity released" 1e9
+    (D3.Router.allocation r ~flow:2)
+
+let test_host_end_to_end () =
+  (* A deadline flow and a best-effort flow share a server link under D3;
+     both complete, and the deadline flow meets a deadline it could not
+     meet under an equal split. *)
+  let sc =
+    Scenario.deadline_intra_rack ~num_flows:60 ~seed:4 ~load:0.4 ()
+  in
+  let r = Runner.run Runner.D3 sc in
+  Alcotest.(check int) "all completed" 60 r.Runner.completed;
+  Alcotest.(check bool) "some deadlines met" true (r.Runner.app_throughput > 0.5);
+  Alcotest.(check bool) "control messages counted" true (r.Runner.ctrl_msgs > 0)
+
+let test_d3_beats_dctcp_on_deadlines () =
+  let tput proto =
+    (Runner.run proto (Scenario.deadline_intra_rack ~num_flows:150 ~seed:9 ~load:0.4 ()))
+      .Runner.app_throughput
+  in
+  Alcotest.(check bool) "explicit deadline rates help at moderate load" true
+    (tput Runner.D3 >= tput Runner.Dctcp -. 0.05)
+
+let suite =
+  [
+    Alcotest.test_case "single flow gets all" `Quick test_single_flow_gets_all;
+    Alcotest.test_case "fair share" `Quick test_fair_share_no_deadlines;
+    Alcotest.test_case "reservations first" `Quick test_reservations_first;
+    Alcotest.test_case "FCFS priority inversion" `Quick test_fcfs_priority_inversion;
+    Alcotest.test_case "arrival order stable" `Quick test_update_keeps_arrival_order;
+    Alcotest.test_case "remove releases" `Quick test_remove_releases;
+    Alcotest.test_case "host end-to-end" `Slow test_host_end_to_end;
+    Alcotest.test_case "beats DCTCP on deadlines" `Slow test_d3_beats_dctcp_on_deadlines;
+  ]

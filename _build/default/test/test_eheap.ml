@@ -1,0 +1,99 @@
+(* Event heap: ordering, FIFO tie-breaks, and a sort property. *)
+
+let test_empty () =
+  let h = Eheap.create () in
+  Alcotest.(check bool) "empty" true (Eheap.is_empty h);
+  Alcotest.(check (option (pair (float 0.) int))) "pop none" None (Eheap.pop h)
+
+let test_ordering () =
+  let h = Eheap.create () in
+  List.iteri
+    (fun i t -> Eheap.add h ~time:t ~seq:i i)
+    [ 5.0; 1.0; 3.0; 0.5; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Eheap.pop h with
+    | Some (t, _) ->
+        order := t :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.)))
+    "sorted" [ 0.5; 1.0; 3.0; 4.0; 5.0 ] (List.rev !order)
+
+let test_fifo_ties () =
+  let h = Eheap.create () in
+  for i = 0 to 9 do
+    Eheap.add h ~time:1.0 ~seq:i i
+  done;
+  let got = ref [] in
+  let rec drain () =
+    match Eheap.pop h with
+    | Some (_, v) ->
+        got := v :: !got;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "FIFO on equal times" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !got)
+
+let test_size_tracking () =
+  let h = Eheap.create () in
+  for i = 1 to 100 do
+    Eheap.add h ~time:(float_of_int (100 - i)) ~seq:i i
+  done;
+  Alcotest.(check int) "size 100" 100 (Eheap.size h);
+  ignore (Eheap.pop h);
+  Alcotest.(check int) "size 99" 99 (Eheap.size h);
+  Alcotest.(check (option (float 0.))) "peek" (Some 1.) (Eheap.peek_time h)
+
+let test_interleaved () =
+  (* Interleave adds and pops; popped keys must be monotone when no smaller
+     key is inserted afterwards. *)
+  let h = Eheap.create () in
+  Eheap.add h ~time:2. ~seq:0 0;
+  Eheap.add h ~time:1. ~seq:1 1;
+  let t1, _ = Option.get (Eheap.pop h) in
+  Eheap.add h ~time:3. ~seq:2 2;
+  let t2, _ = Option.get (Eheap.pop h) in
+  let t3, _ = Option.get (Eheap.pop h) in
+  Alcotest.(check (list (float 0.))) "order" [ 1.; 2.; 3. ] [ t1; t2; t3 ]
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"Eheap drains in sorted key order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun times ->
+      let h = Eheap.create () in
+      List.iteri (fun i t -> Eheap.add h ~time:t ~seq:i i) times;
+      let rec drain acc =
+        match Eheap.pop h with Some (t, _) -> drain (t :: acc) | None -> List.rev acc
+      in
+      let drained = drain [] in
+      drained = List.sort compare times)
+
+let prop_fifo_on_equal_keys =
+  QCheck.Test.make ~name:"Eheap preserves insertion order on equal keys"
+    ~count:100
+    QCheck.(int_range 1 50)
+    (fun n ->
+      let h = Eheap.create () in
+      for i = 0 to n - 1 do
+        Eheap.add h ~time:7. ~seq:i i
+      done;
+      let rec drain acc =
+        match Eheap.pop h with Some (_, v) -> drain (v :: acc) | None -> List.rev acc
+      in
+      drain [] = List.init n Fun.id)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
+    Alcotest.test_case "size tracking" `Quick test_size_tracking;
+    Alcotest.test_case "interleaved" `Quick test_interleaved;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_fifo_on_equal_keys;
+  ]

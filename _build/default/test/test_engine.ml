@@ -1,0 +1,110 @@
+(* Discrete-event engine: scheduling semantics, cancellation, stop/until. *)
+
+let test_time_advances () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.schedule e ~delay:0.5 (fun () -> seen := (Engine.now e, 'b') :: !seen);
+  Engine.schedule e ~delay:0.1 (fun () -> seen := (Engine.now e, 'a') :: !seen);
+  Engine.run e;
+  Alcotest.(check (list (pair (float 1e-12) char)))
+    "events in time order" [ (0.1, 'a'); (0.5, 'b') ] (List.rev !seen)
+
+let test_fifo_same_time () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  for i = 0 to 4 do
+    Engine.schedule e ~delay:1.0 (fun () -> seen := i :: !seen)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO" [ 0; 1; 2; 3; 4 ] (List.rev !seen)
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let trace = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      trace := "outer" :: !trace;
+      Engine.schedule e ~delay:1.0 (fun () -> trace := "inner" :: !trace));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !trace);
+  Alcotest.(check (float 1e-12)) "final time" 2.0 (Engine.now e)
+
+let test_cancellation () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let cancel = Engine.schedule_cancellable e ~delay:1.0 (fun () -> fired := true) in
+  cancel ();
+  Engine.run e;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired;
+  Alcotest.(check int) "not counted" 0 (Engine.events_processed e)
+
+let test_cancel_idempotent () =
+  let e = Engine.create () in
+  let cancel = Engine.schedule_cancellable e ~delay:1.0 ignore in
+  cancel ();
+  cancel ();
+  Engine.run e
+
+let test_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Engine.schedule e ~delay:1.0 (fun () ->
+        incr count;
+        if !count = 3 then Engine.stop e)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "stopped after 3" 3 !count;
+  (* Run can resume afterwards. *)
+  Engine.run e;
+  Alcotest.(check int) "resumed" 10 !count
+
+let test_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  List.iter
+    (fun t -> Engine.schedule e ~delay:t (fun () -> incr count))
+    [ 0.1; 0.2; 0.9; 1.5 ];
+  Engine.run ~until:1.0 e;
+  Alcotest.(check int) "3 events before horizon" 3 !count;
+  Alcotest.(check bool) "future event still pending" true (Engine.pending e > 0);
+  Engine.run e;
+  Alcotest.(check int) "rest runs later" 4 !count
+
+let test_max_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 100 do
+    Engine.schedule e ~delay:1.0 (fun () -> incr count)
+  done;
+  Engine.run ~max_events:10 e;
+  Alcotest.(check int) "budget respected" 10 !count
+
+let test_past_scheduling_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      Alcotest.check_raises "no time travel"
+        (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+          Engine.schedule e ~delay:(-0.5) ignore));
+  Engine.run e
+
+let test_events_processed () =
+  let e = Engine.create () in
+  for _ = 1 to 7 do
+    Engine.schedule e ~delay:0.1 ignore
+  done;
+  Engine.run e;
+  Alcotest.(check int) "count" 7 (Engine.events_processed e)
+
+let suite =
+  [
+    Alcotest.test_case "time advances" `Quick test_time_advances;
+    Alcotest.test_case "FIFO same time" `Quick test_fifo_same_time;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "cancellation" `Quick test_cancellation;
+    Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
+    Alcotest.test_case "stop and resume" `Quick test_stop;
+    Alcotest.test_case "until horizon" `Quick test_until;
+    Alcotest.test_case "max events" `Quick test_max_events;
+    Alcotest.test_case "past scheduling rejected" `Quick test_past_scheduling_rejected;
+    Alcotest.test_case "events processed" `Quick test_events_processed;
+  ]

@@ -1,0 +1,177 @@
+(* Control-law micro-checks driven through real (tiny) networks: DCTCP
+   backoff proportionality, D2TCP's deadline-dependent cuts, Algorithm 2's
+   window policy at the three queue levels, and hierarchy latency
+   ordering. *)
+
+let rig () =
+  Packet.reset_ids ();
+  let e = Engine.create () in
+  let c = Counters.create () in
+  let topo =
+    Topology.single_rack e c ~hosts:2 ~rate_bps:1e9 ~link_delay_s:10e-6
+      ~qdisc:(fun ~rate_bps:_ -> Queue_disc.droptail c ~limit_pkts:100)
+  in
+  (e, topo)
+
+let mk_sender topo ?deadline () =
+  let flow =
+    Flow.make ~id:1 ~src:topo.Topology.hosts.(0) ~dst:topo.Topology.hosts.(1)
+      ~size_pkts:10_000 ~start_time:0. ?deadline ()
+  in
+  Sender_base.create topo.Topology.net ~flow ~conf:Sender_base.default_conf
+    ~on_complete:(fun _ ~fct:_ -> ())
+    ()
+
+(* DCTCP's cut is proportional to alpha: with alpha pinned high the cut is
+   deep, with alpha low it is shallow. *)
+let test_dctcp_cut_proportional_to_alpha () =
+  let _, topo = rig () in
+  let cut alpha_target =
+    let st = Ecn_cc.create_state () in
+    let s = mk_sender topo () in
+    (* Drive alpha: marked fraction = alpha_target per "window". *)
+    for i = 0 to 10_000 do
+      Ecn_cc.observe st s
+        ~ecn:(float_of_int (i mod 100) < alpha_target *. 100.)
+        ~weight:1
+    done;
+    Sender_base.set_cwnd s 100.;
+    ignore (Ecn_cc.try_cut st s ~multiplier:(1. -. (Ecn_cc.alpha st /. 2.)));
+    Sender_base.cwnd s
+  in
+  let deep = cut 1.0 in
+  let shallow = cut 0.1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "full marking halves (%.1f)" deep)
+    true
+    (deep > 49. && deep < 55.);
+  Alcotest.(check bool)
+    (Printf.sprintf "light marking cuts ~5%% (%.1f)" shallow)
+    true
+    (shallow > 92. && shallow < 97.)
+
+(* D2TCP: for the same alpha, a tight-deadline flow cuts less than a
+   loose-deadline one (gamma correction). *)
+let test_d2tcp_deadline_changes_cut () =
+  let _, topo = rig () in
+  let cut_multiplier ~deadline =
+    let flow =
+      Flow.make ~id:1 ~src:topo.Topology.hosts.(0)
+        ~dst:topo.Topology.hosts.(1) ~size_pkts:1000 ~start_time:0. ~deadline ()
+    in
+    let s =
+      D2tcp.create topo.Topology.net ~flow
+        ~on_complete:(fun _ ~fct:_ -> ())
+        ()
+    in
+    let alpha = 0.6 in
+    let d = D2tcp.imminence s in
+    1. -. ((alpha ** d) /. 2.)
+  in
+  let tight = cut_multiplier ~deadline:1e-9 in
+  let loose = cut_multiplier ~deadline:1000. in
+  Alcotest.(check bool)
+    (Printf.sprintf "tight keeps more window (%.3f vs %.3f)" tight loose)
+    true (tight > loose)
+
+(* Algorithm 2 window policy at each queue level, observed through a live
+   PASE flow: top queue tracks Rref x RTT, and a bottom-queue flow stays at
+   one segment. *)
+let test_pase_window_policy () =
+  Packet.reset_ids ();
+  let e = Engine.create () in
+  let c = Counters.create () in
+  let cfg = Config.default in
+  let topo =
+    Topology.single_rack e c ~hosts:4 ~rate_bps:1e9 ~link_delay_s:10e-6
+      ~qdisc:(fun ~rate_bps:_ ->
+        Prio_queue.create c ~bands:8 ~limit_pkts:500 ~mark_threshold:20)
+  in
+  let h = topo.Topology.hosts in
+  let rtt = Topology.base_rtt topo ~src:h.(0) ~dst:h.(3) ~data_bytes:1500 in
+  let hier = Hierarchy.create e c cfg topo ~base_rate_bps:(8. *. 1500. /. rtt) in
+  Hierarchy.start hier;
+  let mk id src size =
+    let flow = Flow.make ~id ~src ~dst:h.(3) ~size_pkts:size ~start_time:0. () in
+    let recv = Receiver.create topo.Topology.net ~flow () in
+    let host =
+      Pase_host.create topo.Topology.net hier ~flow ~cfg ~rtt ~nic_bps:1e9
+        ~on_complete:(fun _ ~fct:_ -> Receiver.stop recv)
+        ()
+    in
+    Pase_host.start host;
+    host
+  in
+  let top = mk 1 h.(0) 5000 in
+  let low = mk 2 h.(1) 6000 in
+  (* Let a few arbitration rounds pass mid-flight. *)
+  Engine.run ~until:(6. *. cfg.Config.arb_period) e;
+  Alcotest.(check int) "first flow in top queue" 0 (Pase_host.queue top);
+  Alcotest.(check bool) "second flow demoted" true (Pase_host.queue low > 0);
+  let bdp = Pase_host.rref_bps top *. rtt /. (8. *. 1460.) in
+  let cwnd_top = Sender_base.cwnd (Pase_host.sender top) in
+  Alcotest.(check bool)
+    (Printf.sprintf "top cwnd ~ Rref x RTT (%.1f vs %.1f)" cwnd_top bdp)
+    true
+    (Float.abs (cwnd_top -. bdp) /. bdp < 0.25);
+  Hierarchy.stop hier
+
+(* Hierarchy contact latencies: a cross-core flow's decision arrives later
+   than an intra-rack flow's, and delegation shortens the wait. *)
+let test_hierarchy_latency_ordering () =
+  let first_apply_delay ~cfg ~cross =
+    Packet.reset_ids ();
+    let e = Engine.create () in
+    let c = Counters.create () in
+    let topo =
+      Topology.three_tier e c ~hosts_per_tor:4 ~tors:4 ~aggs:2
+        ~edge_rate_bps:1e9 ~fabric_rate_bps:10e9 ~link_delay_s:25e-6
+        ~qdisc:(fun ~rate_bps:_ -> Queue_disc.droptail c ~limit_pkts:100)
+    in
+    let h = topo.Topology.hosts in
+    let dst = if cross then h.(15) else h.(1) in
+    let flow = Flow.make ~id:1 ~src:h.(0) ~dst ~size_pkts:100 ~start_time:0. () in
+    let hier = Hierarchy.create e c cfg topo ~base_rate_bps:1e6 in
+    Hierarchy.start hier;
+    let times = ref [] in
+    Hierarchy.add_flow hier ~flow
+      ~criterion:(fun () -> 100.)
+      ~demand:(fun () -> 1e9)
+      ~apply:(fun ~queue:_ ~rref_bps:_ -> times := Engine.now e :: !times);
+    Engine.run ~until:0.002 e;
+    Hierarchy.stop hier;
+    (* The flow is added between rounds; its first full round fires at
+       t = arb_period. The decision is complete at the LAST progressive
+       apply of that round (before the next round's applies begin). *)
+    let first_round_applies =
+      List.filter
+        (fun t ->
+          t > 0. && t < (2. *. Config.default.Config.arb_period) -. 1e-5)
+        !times
+    in
+    List.fold_left Float.max 0. first_round_applies
+  in
+  let intra = first_apply_delay ~cfg:Config.default ~cross:false in
+  let cross_deleg = first_apply_delay ~cfg:Config.default ~cross:true in
+  let cross_full =
+    first_apply_delay
+      ~cfg:{ Config.default with Config.delegation = false }
+      ~cross:true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "intra (%.0fus) < cross (%.0fus)" (intra *. 1e6)
+       (cross_deleg *. 1e6))
+    true (intra < cross_deleg);
+  Alcotest.(check bool)
+    (Printf.sprintf "delegation not slower (%.0fus vs %.0fus)"
+       (cross_deleg *. 1e6) (cross_full *. 1e6))
+    true
+    (cross_deleg <= cross_full +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "dctcp cut proportional" `Quick test_dctcp_cut_proportional_to_alpha;
+    Alcotest.test_case "d2tcp deadline changes cut" `Quick test_d2tcp_deadline_changes_cut;
+    Alcotest.test_case "pase window policy" `Quick test_pase_window_policy;
+    Alcotest.test_case "hierarchy latency ordering" `Quick test_hierarchy_latency_ordering;
+  ]

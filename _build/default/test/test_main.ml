@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "pase-repro"
+    [
+      ("rng", Test_rng.suite);
+      ("eheap", Test_eheap.suite);
+      ("engine", Test_engine.suite);
+      ("queues", Test_queues.suite);
+      ("link-net-topology", Test_link_net.suite);
+      ("transport", Test_transport.suite);
+      ("protocols", Test_protocols.suite);
+      ("pdq", Test_pdq.suite);
+      ("d3", Test_d3.suite);
+      ("arbitration", Test_arbitration.suite);
+      ("pase-core", Test_pase_core.suite);
+      ("stats", Test_stats.suite);
+      ("workload", Test_workload.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite);
+      ("fat-tree", Test_fat_tree.suite);
+      ("telemetry", Test_telemetry.suite);
+      ("behaviours", Test_behaviours.suite);
+      ("laws", Test_laws.suite);
+    ]

@@ -1,0 +1,280 @@
+(* PASE core: Arbitrator soft state, Hierarchy (bottom-up arbitration,
+   pruning, delegation, message accounting), and the Pase_host transport. *)
+
+let test_arbitrator_upsert_remove () =
+  let a = Arbitrator.create ~capacity_bps:1e9 in
+  Arbitrator.upsert a ~flow:1 ~criterion:10. ~demand_bps:1e9 ~now:0.;
+  Arbitrator.upsert a ~flow:2 ~criterion:5. ~demand_bps:1e9 ~now:0.;
+  Alcotest.(check int) "two flows" 2 (Arbitrator.flows a);
+  Arbitrator.upsert a ~flow:1 ~criterion:3. ~demand_bps:1e9 ~now:1.;
+  Alcotest.(check int) "upsert does not duplicate" 2 (Arbitrator.flows a);
+  Arbitrator.remove a ~flow:2;
+  Alcotest.(check int) "removed" 1 (Arbitrator.flows a);
+  Alcotest.(check bool) "mem" true (Arbitrator.mem a ~flow:1)
+
+let test_arbitrator_arbitrate_cache () =
+  let a = Arbitrator.create ~capacity_bps:1e9 in
+  Arbitrator.upsert a ~flow:1 ~criterion:10. ~demand_bps:1e9 ~now:0.;
+  Arbitrator.upsert a ~flow:2 ~criterion:20. ~demand_bps:1e9 ~now:0.;
+  Arbitrator.arbitrate a ~num_queues:8 ~base_rate_bps:1e5;
+  (match Arbitrator.cached a ~flow:1 with
+  | Some (q, r) ->
+      Alcotest.(check int) "flow 1 top" 0 q;
+      Alcotest.(check (float 1.)) "flow 1 full rate" 1e9 r
+  | None -> Alcotest.fail "no cache for flow 1");
+  (match Arbitrator.cached a ~flow:2 with
+  | Some (q, _) -> Alcotest.(check int) "flow 2 second queue" 1 q
+  | None -> Alcotest.fail "no cache for flow 2");
+  Alcotest.(check int) "one flow in top queue" 1 (Arbitrator.in_top_queues a ~k:1);
+  Alcotest.(check int) "two in top-2" 2 (Arbitrator.in_top_queues a ~k:2)
+
+let test_arbitrator_expiry () =
+  let a = Arbitrator.create ~capacity_bps:1e9 in
+  Arbitrator.upsert a ~flow:1 ~criterion:10. ~demand_bps:1e9 ~now:0.;
+  Arbitrator.upsert a ~flow:2 ~criterion:20. ~demand_bps:1e9 ~now:5.;
+  Arbitrator.expire a ~now:6. ~max_age:2.;
+  Alcotest.(check bool) "stale flow expired" false (Arbitrator.mem a ~flow:1);
+  Alcotest.(check bool) "fresh flow kept" true (Arbitrator.mem a ~flow:2)
+
+let test_arbitrator_capacity_update () =
+  let a = Arbitrator.create ~capacity_bps:1e9 in
+  Arbitrator.set_capacity a 2e9;
+  Alcotest.(check (float 1.)) "capacity updated" 2e9 (Arbitrator.capacity_bps a);
+  Arbitrator.set_capacity a (-1.);
+  Alcotest.(check (float 1.)) "non-positive ignored" 2e9 (Arbitrator.capacity_bps a)
+
+(* Hierarchy rigs. *)
+let tree_rig cfg =
+  Packet.reset_ids ();
+  let e = Engine.create () in
+  let c = Counters.create () in
+  let topo =
+    Topology.three_tier e c ~hosts_per_tor:4 ~tors:4 ~aggs:2 ~edge_rate_bps:1e9
+      ~fabric_rate_bps:10e9 ~link_delay_s:25e-6
+      ~qdisc:(fun ~rate_bps ->
+        Prio_queue.create c ~bands:cfg.Config.num_queues ~limit_pkts:500
+          ~mark_threshold:(if rate_bps >= 5e9 then 65 else 20))
+  in
+  let h = Hierarchy.create e c cfg topo ~base_rate_bps:(8. *. 1500. /. 3e-4) in
+  (e, c, topo, h)
+
+let add_static_flow hier ~flow ~remaining ~demand ~assignments =
+  Hierarchy.add_flow hier ~flow
+    ~criterion:(fun () -> float_of_int remaining)
+    ~demand:(fun () -> demand)
+    ~apply:(fun ~queue ~rref_bps -> assignments := (queue, rref_bps) :: !assignments)
+
+let test_hierarchy_intra_rack_no_messages () =
+  let cfg = Config.default in
+  let e, c, topo, hier = tree_rig cfg in
+  let h = topo.Topology.hosts in
+  let asg = ref [] in
+  let flow = Flow.make ~id:1 ~src:h.(0) ~dst:h.(1) ~size_pkts:100 ~start_time:0. () in
+  add_static_flow hier ~flow ~remaining:100 ~demand:1e9 ~assignments:asg;
+  Hierarchy.start hier;
+  Engine.run ~until:0.01 e;
+  Hierarchy.stop hier;
+  Alcotest.(check int) "intra-rack costs no messages" 0 c.Counters.ctrl_msgs;
+  Alcotest.(check bool) "assignments delivered" true (List.length !asg > 1);
+  let q, r = List.hd !asg in
+  Alcotest.(check int) "single flow in top queue" 0 q;
+  Alcotest.(check bool) "full edge rate" true (r >= 0.99e9)
+
+let test_hierarchy_inter_rack_messages () =
+  (* Suppress capacity rebalancing so the per-round count is exact. *)
+  let cfg = { Config.default with Config.delegation_period = 10. } in
+  let e, c, topo, hier = tree_rig cfg in
+  let h = topo.Topology.hosts in
+  let asg = ref [] in
+  (* Host 0 (rack 0) to host 15 (rack 3): crosses the core. *)
+  let flow = Flow.make ~id:1 ~src:h.(0) ~dst:h.(15) ~size_pkts:100 ~start_time:0. () in
+  add_static_flow hier ~flow ~remaining:100 ~demand:1e9 ~assignments:asg;
+  Hierarchy.start hier;
+  (* Stop before the first delegation rebalance to keep counts exact. *)
+  Engine.run ~until:0.0029 e;
+  Hierarchy.stop hier;
+  (* With delegation: ToR contact on each side = 4 msgs per round. *)
+  let rounds = Hierarchy.rounds hier in
+  Alcotest.(check bool) "rounds ran" true (rounds >= 9);
+  Alcotest.(check int) "4 messages per round under delegation"
+    (4 * rounds) c.Counters.ctrl_msgs
+
+let test_hierarchy_delegation_off_costs_more () =
+  let cfg = { Config.default with Config.delegation = false } in
+  let e, c, topo, hier = tree_rig cfg in
+  let h = topo.Topology.hosts in
+  let asg = ref [] in
+  let flow = Flow.make ~id:1 ~src:h.(0) ~dst:h.(15) ~size_pkts:100 ~start_time:0. () in
+  add_static_flow hier ~flow ~remaining:100 ~demand:1e9 ~assignments:asg;
+  Hierarchy.start hier;
+  Engine.run ~until:0.0029 e;
+  Hierarchy.stop hier;
+  let rounds = Hierarchy.rounds hier in
+  (* Without delegation the agg-core contacts are separate: 8 msgs/round. *)
+  Alcotest.(check int) "8 messages per round without delegation"
+    (8 * rounds) c.Counters.ctrl_msgs
+
+let test_hierarchy_bottleneck_combination () =
+  (* Two saturating flows from different sources to hosts in the same
+     remote rack share the agg-core link: one must be demoted even though
+     both access links are free. *)
+  let cfg = { Config.default with Config.delegation = false } in
+  let e, _, topo, hier = tree_rig cfg in
+  let h = topo.Topology.hosts in
+  let asg1 = ref [] and asg2 = ref [] in
+  let f1 = Flow.make ~id:1 ~src:h.(0) ~dst:h.(14) ~size_pkts:100 ~start_time:0. () in
+  let f2 = Flow.make ~id:2 ~src:h.(1) ~dst:h.(15) ~size_pkts:200 ~start_time:0. () in
+  add_static_flow hier ~flow:f1 ~remaining:100 ~demand:10e9 ~assignments:asg1;
+  add_static_flow hier ~flow:f2 ~remaining:200 ~demand:10e9 ~assignments:asg2;
+  Hierarchy.start hier;
+  Engine.run ~until:0.005 e;
+  Hierarchy.stop hier;
+  let q1, _ = List.hd !asg1 and q2, _ = List.hd !asg2 in
+  Alcotest.(check int) "shorter flow stays top" 0 q1;
+  Alcotest.(check bool) "longer flow demoted at shared 10G link" true (q2 >= 1)
+
+let test_hierarchy_pruning_reduces_messages () =
+  let run pruning =
+    let cfg =
+      { Config.default with Config.early_pruning = pruning; delegation = false }
+    in
+    let e, c, topo, hier = tree_rig cfg in
+    let h = topo.Topology.hosts in
+    (* Many cross-core flows from one source: most sit in low queues. *)
+    for i = 1 to 12 do
+      let flow =
+        Flow.make ~id:i ~src:h.(0) ~dst:h.(12 + (i mod 4)) ~size_pkts:(100 * i)
+          ~start_time:0. ()
+      in
+      add_static_flow hier ~flow ~remaining:(100 * i) ~demand:1e9
+        ~assignments:(ref [])
+    done;
+    Hierarchy.start hier;
+    Engine.run ~until:0.003 e;
+    Hierarchy.stop hier;
+    c.Counters.ctrl_msgs
+  in
+  let without = run false and with_pruning = run true in
+  Alcotest.(check bool)
+    (Printf.sprintf "pruning cuts messages (%d -> %d)" without with_pruning)
+    true
+    (with_pruning < without)
+
+let test_hierarchy_promotion_on_completion () =
+  (* When the top flow leaves, the demoted flow must be promoted. *)
+  let cfg = Config.default in
+  let e, _, topo, hier = tree_rig cfg in
+  let h = topo.Topology.hosts in
+  let asg2 = ref [] in
+  let f1 = Flow.make ~id:1 ~src:h.(0) ~dst:h.(1) ~size_pkts:10 ~start_time:0. () in
+  let f2 = Flow.make ~id:2 ~src:h.(0) ~dst:h.(1) ~size_pkts:999 ~start_time:0. () in
+  add_static_flow hier ~flow:f1 ~remaining:10 ~demand:1e9 ~assignments:(ref []);
+  add_static_flow hier ~flow:f2 ~remaining:999 ~demand:1e9 ~assignments:asg2;
+  Hierarchy.start hier;
+  Engine.schedule e ~delay:0.002 (fun () -> Hierarchy.remove_flow hier ~flow_id:1);
+  Engine.run ~until:0.005 e;
+  Hierarchy.stop hier;
+  let first_q = List.nth !asg2 (List.length !asg2 - 1) |> fst in
+  let last_q = fst (List.hd !asg2) in
+  Alcotest.(check bool) "was demoted while f1 alive" true (first_q >= 1);
+  Alcotest.(check int) "promoted after f1 left" 0 last_q
+
+(* Pase_host end-to-end: SRPT completion order and probe-based recovery. *)
+let pase_rig ?(cfg = Config.default) ?(hosts = 4) () =
+  Packet.reset_ids ();
+  let e = Engine.create () in
+  let c = Counters.create () in
+  let topo =
+    Topology.single_rack e c ~hosts ~rate_bps:1e9 ~link_delay_s:10e-6
+      ~qdisc:(fun ~rate_bps:_ ->
+        Prio_queue.create c ~bands:cfg.Config.num_queues ~limit_pkts:500
+          ~mark_threshold:20)
+  in
+  let rtt =
+    Topology.base_rtt topo ~src:topo.Topology.hosts.(0)
+      ~dst:topo.Topology.hosts.(1) ~data_bytes:1500
+  in
+  let hier = Hierarchy.create e c cfg topo ~base_rate_bps:(8. *. 1500. /. rtt) in
+  Hierarchy.start hier;
+  let launch ~id ~src ~dst ~size_pkts ~start =
+    let result = ref None in
+    Engine.schedule_at e ~time:start (fun () ->
+        let flow = Flow.make ~id ~src ~dst ~size_pkts ~start_time:start () in
+        let recv = Receiver.create topo.Topology.net ~flow () in
+        let rtt = Topology.base_rtt topo ~src ~dst ~data_bytes:1500 in
+        let on_complete _ ~fct =
+          Receiver.stop recv;
+          result := Some fct
+        in
+        Pase_host.start
+          (Pase_host.create topo.Topology.net hier ~flow ~cfg ~rtt ~nic_bps:1e9
+             ~on_complete ()));
+    result
+  in
+  (e, c, topo, hier, launch)
+
+let test_pase_host_srpt_order () =
+  let e, _, topo, hier, launch = pase_rig () in
+  let h = topo.Topology.hosts in
+  (* Three flows to one destination, sizes inverted vs start order. *)
+  let big = launch ~id:1 ~src:h.(0) ~dst:h.(3) ~size_pkts:600 ~start:0. in
+  let mid = launch ~id:2 ~src:h.(1) ~dst:h.(3) ~size_pkts:200 ~start:0.0005 in
+  let small = launch ~id:3 ~src:h.(2) ~dst:h.(3) ~size_pkts:50 ~start:0.001 in
+  Engine.run ~until:0.5 e;
+  Hierarchy.stop hier;
+  match (!big, !mid, !small) with
+  | Some fb, Some fm, Some fs ->
+      let done_at start fct = start +. fct in
+      Alcotest.(check bool) "small finishes first" true
+        (done_at 0.001 fs < done_at 0.0005 fm);
+      Alcotest.(check bool) "mid finishes before big" true
+        (done_at 0.0005 fm < done_at 0. fb);
+      (* Work conservation: total near serialization of 850 pkts. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "big near-serial (%.2f ms)" (fb *. 1e3))
+        true
+        (fb < 13e-3)
+  | _ -> Alcotest.fail "flows did not finish"
+
+let test_pase_host_uses_probes () =
+  let cfg = Config.default in
+  let e, _, topo, hier, launch = pase_rig ~cfg () in
+  let h = topo.Topology.hosts in
+  (* A long-demoted flow behind a big one will time out in a low queue and
+     probe instead of retransmitting. We only check it completes and the
+     system stays correct. *)
+  let big = launch ~id:1 ~src:h.(0) ~dst:h.(3) ~size_pkts:2000 ~start:0. in
+  let small = launch ~id:2 ~src:h.(1) ~dst:h.(3) ~size_pkts:100 ~start:0.0005 in
+  Engine.run ~until:1.0 e;
+  Hierarchy.stop hier;
+  Alcotest.(check bool) "both complete" true (!big <> None && !small <> None)
+
+let test_pase_deterministic () =
+  let run () =
+    let e, _, topo, hier, launch = pase_rig () in
+    let h = topo.Topology.hosts in
+    let a = launch ~id:1 ~src:h.(0) ~dst:h.(3) ~size_pkts:300 ~start:0. in
+    let b = launch ~id:2 ~src:h.(1) ~dst:h.(3) ~size_pkts:100 ~start:0.0002 in
+    Engine.run ~until:0.5 e;
+    Hierarchy.stop hier;
+    (Option.get !a, Option.get !b)
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check (pair (float 0.) (float 0.))) "bit-identical reruns" r1 r2
+
+let suite =
+  [
+    Alcotest.test_case "arbitrator upsert/remove" `Quick test_arbitrator_upsert_remove;
+    Alcotest.test_case "arbitrator arbitrate cache" `Quick test_arbitrator_arbitrate_cache;
+    Alcotest.test_case "arbitrator expiry" `Quick test_arbitrator_expiry;
+    Alcotest.test_case "arbitrator capacity" `Quick test_arbitrator_capacity_update;
+    Alcotest.test_case "hierarchy intra-rack no msgs" `Quick test_hierarchy_intra_rack_no_messages;
+    Alcotest.test_case "hierarchy inter-rack msgs" `Quick test_hierarchy_inter_rack_messages;
+    Alcotest.test_case "hierarchy delegation off costs more" `Quick test_hierarchy_delegation_off_costs_more;
+    Alcotest.test_case "hierarchy bottleneck combination" `Quick test_hierarchy_bottleneck_combination;
+    Alcotest.test_case "hierarchy pruning reduces msgs" `Quick test_hierarchy_pruning_reduces_messages;
+    Alcotest.test_case "hierarchy promotion on completion" `Quick test_hierarchy_promotion_on_completion;
+    Alcotest.test_case "pase host SRPT order" `Quick test_pase_host_srpt_order;
+    Alcotest.test_case "pase host uses probes" `Quick test_pase_host_uses_probes;
+    Alcotest.test_case "pase deterministic" `Quick test_pase_deterministic;
+  ]

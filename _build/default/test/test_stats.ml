@@ -1,0 +1,191 @@
+(* Stats: summary math, FCT bookkeeping, series rendering. *)
+
+let test_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Summary.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (Summary.mean []))
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50. (Summary.percentile 50. xs);
+  Alcotest.(check (float 1e-9)) "p99" 99. (Summary.percentile 99. xs);
+  Alcotest.(check (float 1e-9)) "p100" 100. (Summary.percentile 100. xs);
+  Alcotest.(check (float 1e-9)) "p1" 1. (Summary.percentile 1. xs);
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Summary.percentile: empty sample") (fun () ->
+      ignore (Summary.percentile 50. []))
+
+let test_percentile_unsorted_input () =
+  Alcotest.(check (float 1e-9)) "unsorted" 3.
+    (Summary.percentile 50. [ 5.; 1.; 3.; 2.; 4.; 6. ])
+
+let test_min_max () =
+  Alcotest.(check (float 1e-9)) "min" 1. (Summary.min [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "max" 3. (Summary.max [ 3.; 1.; 2. ])
+
+let test_cdf () =
+  let xs = List.init 10 (fun i -> float_of_int (i + 1)) in
+  let cdf = Summary.cdf ~points:10 xs in
+  Alcotest.(check int) "10 points" 10 (List.length cdf);
+  let last_v, last_q = List.nth cdf 9 in
+  Alcotest.(check (float 1e-9)) "last value" 10. last_v;
+  Alcotest.(check (float 1e-9)) "last quantile" 1. last_q;
+  (* CDF values are non-decreasing. *)
+  let rec mono = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (mono cdf)
+
+let test_fct_bookkeeping () =
+  let f = Fct.create () in
+  Fct.add f ~flow:1 ~size_pkts:10 ~start_time:0. ~fct:0.001 ();
+  Fct.add f ~flow:2 ~size_pkts:10 ~start_time:0. ~fct:0.003 ();
+  Fct.add f ~flow:3 ~size_pkts:10 ~start_time:0. ~fct:0.100 ~censored:true ();
+  Alcotest.(check int) "count" 3 (Fct.count f);
+  Alcotest.(check int) "censored" 1 (Fct.censored_count f);
+  Alcotest.(check (float 1e-9)) "afct over completed" 0.002 (Fct.afct f);
+  Alcotest.(check int) "completed list" 2 (List.length (Fct.completed_fcts f))
+
+let test_fct_deadlines () =
+  let f = Fct.create () in
+  Fct.add f ~flow:1 ~size_pkts:10 ~start_time:0. ~fct:0.001 ~deadline:0.002 ();
+  Fct.add f ~flow:2 ~size_pkts:10 ~start_time:0. ~fct:0.005 ~deadline:0.002 ();
+  Fct.add f ~flow:3 ~size_pkts:10 ~start_time:0. ~fct:0.001 ~deadline:0.002
+    ~censored:true ();
+  Fct.add f ~flow:4 ~size_pkts:10 ~start_time:0. ~fct:0.001 ();
+  (* no deadline *)
+  Alcotest.(check (float 1e-9)) "1 of 3 met" (1. /. 3.)
+    (Fct.deadline_met_fraction f)
+
+let test_fct_no_deadlines_nan () =
+  let f = Fct.create () in
+  Fct.add f ~flow:1 ~size_pkts:10 ~start_time:0. ~fct:0.001 ();
+  Alcotest.(check bool) "nan without deadlines" true
+    (Float.is_nan (Fct.deadline_met_fraction f))
+
+let test_series_arity_check () =
+  Alcotest.check_raises "row arity" (Invalid_argument "Series.make: row arity mismatch")
+    (fun () ->
+      ignore
+        (Series.make ~title:"t" ~x_label:"x" ~columns:[ "a"; "b" ]
+           ~rows:[ (1., [ 1. ]) ]))
+
+let test_series_prints () =
+  (* Smoke test: rendering must not raise. *)
+  let s =
+    Series.make ~title:"demo" ~x_label:"load" ~columns:[ "A"; "B" ]
+      ~rows:[ (0.1, [ 1.; 2. ]); (0.2, [ 3.; 4. ]) ]
+  in
+  Series.print s;
+  Series.print_table ~title:"tbl" ~header:[ "h1"; "h2" ] [ [ "a"; "b" ] ]
+
+let test_dist_means () =
+  let rng = Rng.create 3 in
+  let d = Dist.uniform 10. 20. in
+  Alcotest.(check (float 1e-9)) "uniform mean" 15. d.Dist.mean;
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. d.Dist.sample rng
+  done;
+  Alcotest.(check bool) "empirical mean" true
+    (Float.abs ((!sum /. float_of_int n) -. 15.) < 0.1);
+  let c = Dist.constant 5. in
+  Alcotest.(check (float 1e-9)) "constant" 5. (c.Dist.sample rng);
+  let ch = Dist.choice [ 1.; 2.; 3. ] in
+  Alcotest.(check (float 1e-9)) "choice mean" 2. ch.Dist.mean
+
+let test_dist_sample_int () =
+  let rng = Rng.create 4 in
+  let d = Dist.uniform 100. 200. in
+  for _ = 1 to 100 do
+    let v = Dist.sample_int d rng in
+    Alcotest.(check bool) "int in range" true (v >= 100 && v <= 200)
+  done
+
+let test_piecewise_validation () =
+  Alcotest.check_raises "needs two points"
+    (Invalid_argument "Dist.piecewise: need at least two points") (fun () ->
+      ignore (Dist.piecewise ~name:"x" [ (0., 0.) ]));
+  Alcotest.check_raises "first prob 0"
+    (Invalid_argument "Dist.piecewise: first probability must be 0") (fun () ->
+      ignore (Dist.piecewise ~name:"x" [ (0., 0.5); (1., 1.) ]));
+  Alcotest.check_raises "last prob 1"
+    (Invalid_argument "Dist.piecewise: last probability must be 1") (fun () ->
+      ignore (Dist.piecewise ~name:"x" [ (0., 0.); (1., 0.9) ]));
+  Alcotest.check_raises "monotone"
+    (Invalid_argument "Dist.piecewise: breakpoints must be non-decreasing")
+    (fun () -> ignore (Dist.piecewise ~name:"x" [ (0., 0.); (2., 0.8); (1., 1.) ]))
+
+let test_piecewise_uniform_equivalence () =
+  (* A single segment (0,0)-(1,1) is U[0,1]: mean 1/2, samples in range. *)
+  let d = Dist.piecewise ~name:"u" [ (0., 0.); (1., 1.) ] in
+  Alcotest.(check (float 1e-9)) "mean" 0.5 d.Dist.mean;
+  let rng = Rng.create 5 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let v = d.Dist.sample rng in
+    Alcotest.(check bool) "in range" true (v >= 0. && v <= 1.);
+    sum := !sum +. v
+  done;
+  Alcotest.(check bool) "empirical mean" true
+    (Float.abs ((!sum /. float_of_int n) -. 0.5) < 0.01)
+
+let test_piecewise_median () =
+  (* Half the samples of the data-mining mix fall below its p50 point. *)
+  let d = Dist.data_mining_bytes in
+  let rng = Rng.create 11 in
+  let below = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if d.Dist.sample rng <= 1_100. then incr below
+  done;
+  let frac = float_of_int !below /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "median respected (%.3f)" frac)
+    true
+    (Float.abs (frac -. 0.5) < 0.02)
+
+let test_empirical_means_sane () =
+  (* Heavy tails dominate the means. *)
+  Alcotest.(check bool) "web search mean > 1 MB" true
+    (Dist.web_search_bytes.Dist.mean > 1e6);
+  Alcotest.(check bool) "data mining mean > 5 MB" true
+    (Dist.data_mining_bytes.Dist.mean > 5e6)
+
+let test_empirical_scenario_builds () =
+  let sc = Scenario.web_search ~hosts:10 ~num_flows:50 ~seed:2 ~load:0.5 () in
+  let e = Engine.create () in
+  let c = Counters.create () in
+  let plan =
+    Scenario.build sc e c ~qdisc:(fun ~rate_bps:_ ->
+        Queue_disc.droptail c ~limit_pkts:64)
+  in
+  List.iter
+    (fun s ->
+      if not s.Scenario.long_lived then
+        Alcotest.(check bool) "sizes positive and bounded" true
+          (s.Scenario.size_bytes >= 1_000 && s.Scenario.size_bytes <= 30_000_000))
+    plan.Scenario.specs
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "piecewise validation" `Quick test_piecewise_validation;
+    Alcotest.test_case "piecewise uniform" `Quick test_piecewise_uniform_equivalence;
+    Alcotest.test_case "piecewise median" `Quick test_piecewise_median;
+    Alcotest.test_case "empirical means" `Quick test_empirical_means_sane;
+    Alcotest.test_case "empirical scenario builds" `Quick test_empirical_scenario_builds;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile unsorted" `Quick test_percentile_unsorted_input;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "cdf" `Quick test_cdf;
+    Alcotest.test_case "fct bookkeeping" `Quick test_fct_bookkeeping;
+    Alcotest.test_case "fct deadlines" `Quick test_fct_deadlines;
+    Alcotest.test_case "fct nan without deadlines" `Quick test_fct_no_deadlines_nan;
+    Alcotest.test_case "series arity" `Quick test_series_arity_check;
+    Alcotest.test_case "series prints" `Quick test_series_prints;
+    Alcotest.test_case "dist means" `Quick test_dist_means;
+    Alcotest.test_case "dist sample_int" `Quick test_dist_sample_int;
+  ]

@@ -1,0 +1,72 @@
+(* Link telemetry: sampling cadence, utilization math, queue peaks. *)
+
+let rig () =
+  let e = Engine.create () in
+  let c = Counters.create () in
+  let arrivals = ref 0 in
+  let link =
+    Link.create e
+      ~qdisc:(Queue_disc.droptail c ~limit_pkts:1000)
+      ~rate_bps:1e9 ~delay_s:0.
+      ~deliver:(fun _ -> incr arrivals)
+  in
+  (e, link)
+
+let pkt seq =
+  Packet.make ~flow:1 ~src:0 ~dst:1 ~kind:Packet.Data ~size:1500 ~seq
+    ~sent_at:0. ()
+
+let test_idle_link_zero_utilization () =
+  let e, link = rig () in
+  let t = Telemetry.create e ~period:1e-3 [ ("l", link) ] in
+  Engine.run ~until:0.005 e;
+  Telemetry.stop t;
+  Alcotest.(check bool) "samples taken" true (List.length (Telemetry.samples t "l") >= 4);
+  Alcotest.(check (float 1e-9)) "idle = 0" 0. (Telemetry.mean_utilization t "l");
+  Alcotest.(check int) "no queue" 0 (Telemetry.peak_queue t "l")
+
+let test_saturated_link_full_utilization () =
+  let e, link = rig () in
+  let t = Telemetry.create e ~period:1e-3 [ ("l", link) ] in
+  (* 1 Gbps for 5 ms = ~417 packets; enqueue more than that. *)
+  for i = 0 to 599 do
+    Link.send link (pkt i)
+  done;
+  Engine.run ~until:0.005 e;
+  Telemetry.stop t;
+  let u = Telemetry.mean_utilization t "l" in
+  Alcotest.(check bool) (Printf.sprintf "busy (%.2f)" u) true (u > 0.95);
+  Alcotest.(check bool) "queue observed" true (Telemetry.peak_queue t "l" > 100)
+
+let test_stop_freezes_samples () =
+  let e, link = rig () in
+  let t = Telemetry.create e ~period:1e-3 [ ("l", link) ] in
+  Engine.run ~until:0.002 e;
+  Telemetry.stop t;
+  let n = List.length (Telemetry.samples t "l") in
+  Engine.run ~until:0.010 e;
+  Alcotest.(check int) "no new samples after stop" n
+    (List.length (Telemetry.samples t "l"))
+
+let test_unknown_label () =
+  let e, link = rig () in
+  let t = Telemetry.create e ~period:1e-3 [ ("l", link) ] in
+  Alcotest.(check (list string)) "labels" [ "l" ] (Telemetry.labels t);
+  Alcotest.(check bool) "unknown label empty" true (Telemetry.samples t "x" = []);
+  Alcotest.(check bool) "unknown label nan" true
+    (Float.is_nan (Telemetry.mean_utilization t "x"))
+
+let test_rejects_bad_period () =
+  let e, link = rig () in
+  Alcotest.check_raises "period must be positive"
+    (Invalid_argument "Telemetry.create: period must be positive") (fun () ->
+      ignore (Telemetry.create e ~period:0. [ ("l", link) ]))
+
+let suite =
+  [
+    Alcotest.test_case "idle link" `Quick test_idle_link_zero_utilization;
+    Alcotest.test_case "saturated link" `Quick test_saturated_link_full_utilization;
+    Alcotest.test_case "stop freezes" `Quick test_stop_freezes_samples;
+    Alcotest.test_case "unknown label" `Quick test_unknown_label;
+    Alcotest.test_case "rejects bad period" `Quick test_rejects_bad_period;
+  ]

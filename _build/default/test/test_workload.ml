@@ -1,0 +1,198 @@
+(* Scenarios and the runner: schedule construction, load accounting, and
+   end-to-end integration runs for every protocol. *)
+
+let build sc =
+  let e = Engine.create () in
+  let c = Counters.create () in
+  let plan =
+    Scenario.build sc e c ~qdisc:(fun ~rate_bps:_ ->
+        Queue_disc.droptail c ~limit_pkts:100)
+  in
+  plan
+
+let test_left_right_plan () =
+  let sc = Scenario.left_right ~num_flows:200 ~seed:5 ~load:0.6 () in
+  let plan = build sc in
+  Alcotest.(check int) "160 hosts" 160
+    (Array.length plan.Scenario.topo.Topology.hosts);
+  let measured =
+    List.filter (fun s -> not s.Scenario.long_lived) plan.Scenario.specs
+  in
+  Alcotest.(check int) "200 measured flows" 200 (List.length measured);
+  Alcotest.(check int) "2 background" 2
+    (List.length plan.Scenario.specs - List.length measured);
+  (* Left to right only. *)
+  let hosts = plan.Scenario.topo.Topology.hosts in
+  let left = Array.sub hosts 0 80 and right = Array.sub hosts 80 80 in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "src in left" true
+        (Array.exists (fun h -> h = s.Scenario.src) left);
+      Alcotest.(check bool) "dst in right" true
+        (Array.exists (fun h -> h = s.Scenario.dst) right))
+    measured;
+  (* Arrival rate: load x 10G / mean bits. *)
+  let expect = 0.6 *. 10e9 /. (8. *. 100e3) in
+  Alcotest.(check bool) "arrival rate" true
+    (Float.abs (plan.Scenario.arrival_rate -. expect) /. expect < 1e-9)
+
+let test_starts_sorted_and_positive () =
+  let sc = Scenario.left_right ~num_flows:100 ~seed:2 ~load:0.5 () in
+  let plan = build sc in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Scenario.start <= b.Scenario.start && sorted rest
+    | _ -> true
+  in
+  let measured =
+    List.filter (fun s -> not s.Scenario.long_lived) plan.Scenario.specs
+  in
+  Alcotest.(check bool) "arrivals sorted" true (sorted measured);
+  List.iter
+    (fun s -> Alcotest.(check bool) "positive sizes" true (s.Scenario.size_bytes > 0))
+    measured
+
+let test_deadline_scenario_has_deadlines () =
+  let sc = Scenario.deadline_intra_rack ~num_flows:50 ~seed:1 ~load:0.4 () in
+  let plan = build sc in
+  List.iter
+    (fun s ->
+      if not s.Scenario.long_lived then begin
+        match s.Scenario.deadline with
+        | Some d ->
+            Alcotest.(check bool) "deadline in [5,25] ms" true
+              (d >= 0.005 && d <= 0.025)
+        | None -> Alcotest.fail "missing deadline"
+      end)
+    plan.Scenario.specs
+
+let test_sizes_in_range () =
+  let sc = Scenario.left_right ~num_flows:300 ~seed:9 ~load:0.5 () in
+  let plan = build sc in
+  List.iter
+    (fun s ->
+      if not s.Scenario.long_lived then
+        Alcotest.(check bool) "size in [2,198] KB" true
+          (s.Scenario.size_bytes >= 2_000 && s.Scenario.size_bytes <= 198_000))
+    plan.Scenario.specs
+
+let test_incast_structure () =
+  let sc = Scenario.worker_aggregator ~hosts:10 ~num_flows:90 ~seed:3 ~load:0.5 () in
+  let plan = build sc in
+  let measured =
+    List.filter (fun s -> not s.Scenario.long_lived) plan.Scenario.specs
+  in
+  (* 90 flows / fanout 9 = 10 queries of 9 flows each, same start and dst. *)
+  Alcotest.(check int) "90 flows" 90 (List.length measured);
+  let by_start = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let k = s.Scenario.start in
+      Hashtbl.replace by_start k
+        (s :: (try Hashtbl.find by_start k with Not_found -> [])))
+    measured;
+  Alcotest.(check int) "10 queries" 10 (Hashtbl.length by_start);
+  Hashtbl.iter
+    (fun _ flows ->
+      Alcotest.(check int) "9 workers per query" 9 (List.length flows);
+      let dsts = List.sort_uniq compare (List.map (fun s -> s.Scenario.dst) flows) in
+      Alcotest.(check int) "one aggregator" 1 (List.length dsts);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "worker is not aggregator" true
+            (s.Scenario.src <> s.Scenario.dst))
+        flows)
+    by_start
+
+let test_testbed_pattern () =
+  let sc = Scenario.testbed ~num_flows:40 ~seed:4 ~load:0.3 () in
+  let plan = build sc in
+  let hosts = plan.Scenario.topo.Topology.hosts in
+  let server = hosts.(9) in
+  List.iter
+    (fun s ->
+      if not s.Scenario.long_lived then begin
+        Alcotest.(check int) "all to the server" server s.Scenario.dst;
+        Alcotest.(check bool) "client src" true (s.Scenario.src <> server)
+      end)
+    plan.Scenario.specs
+
+let test_determinism_of_build () =
+  let sc () = Scenario.left_right ~num_flows:50 ~seed:7 ~load:0.5 () in
+  let p1 = build (sc ()) and p2 = build (sc ()) in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "identical schedule" true
+        (a.Scenario.src = b.Scenario.src
+        && a.Scenario.dst = b.Scenario.dst
+        && a.Scenario.size_bytes = b.Scenario.size_bytes
+        && a.Scenario.start = b.Scenario.start))
+    p1.Scenario.specs p2.Scenario.specs
+
+let test_load_bounds () =
+  let e = Engine.create () in
+  let c = Counters.create () in
+  let sc =
+    { (Scenario.left_right ~num_flows:10 ~load:0.5 ()) with Scenario.load = 0. }
+  in
+  Alcotest.check_raises "zero load" (Invalid_argument "Scenario.build: load")
+    (fun () ->
+      ignore
+        (Scenario.build sc e c ~qdisc:(fun ~rate_bps:_ ->
+             Queue_disc.droptail c ~limit_pkts:10)))
+
+(* Integration: a small run per protocol completes all flows and produces
+   sane metrics. *)
+let integration proto () =
+  let sc = Scenario.worker_aggregator ~hosts:6 ~num_flows:60 ~seed:11 ~load:0.5 () in
+  let r = Runner.run proto sc in
+  Alcotest.(check int) "all completed" 60 r.Runner.completed;
+  Alcotest.(check int) "none censored" 0 r.Runner.censored;
+  Alcotest.(check bool) "afct positive" true (r.Runner.afct > 0.);
+  Alcotest.(check bool) "p99 >= afct" true (r.Runner.p99 >= r.Runner.afct);
+  Alcotest.(check bool) "duration sane" true
+    (r.Runner.duration > 0. && r.Runner.duration < 10.)
+
+let test_runner_deterministic () =
+  let sc () = Scenario.worker_aggregator ~hosts:6 ~num_flows:40 ~seed:2 ~load:0.6 () in
+  let r1 = Runner.run Runner.pase (sc ()) in
+  let r2 = Runner.run Runner.pase (sc ()) in
+  Alcotest.(check (float 0.)) "identical afct" r1.Runner.afct r2.Runner.afct;
+  Alcotest.(check int) "identical msgs" r1.Runner.ctrl_msgs r2.Runner.ctrl_msgs
+
+let test_runner_deadline_metric () =
+  let sc = Scenario.deadline_intra_rack ~num_flows:60 ~seed:5 ~load:0.3 () in
+  let r = Runner.run Runner.pase sc in
+  Alcotest.(check bool) "app throughput defined" true
+    (not (Float.is_nan r.Runner.app_throughput));
+  Alcotest.(check bool) "in [0,1]" true
+    (r.Runner.app_throughput >= 0. && r.Runner.app_throughput <= 1.)
+
+let test_runner_pase_local_variant () =
+  let sc = Scenario.worker_aggregator ~hosts:6 ~num_flows:30 ~seed:8 ~load:0.5 () in
+  let r =
+    Runner.run (Runner.Pase { Config.default with Config.local_only = true }) sc
+  in
+  Alcotest.(check string) "named variant" "PASE-local" r.Runner.protocol;
+  Alcotest.(check int) "completes" 30 r.Runner.completed
+
+let suite =
+  [
+    Alcotest.test_case "left-right plan" `Quick test_left_right_plan;
+    Alcotest.test_case "starts sorted" `Quick test_starts_sorted_and_positive;
+    Alcotest.test_case "deadline scenario" `Quick test_deadline_scenario_has_deadlines;
+    Alcotest.test_case "sizes in range" `Quick test_sizes_in_range;
+    Alcotest.test_case "incast structure" `Quick test_incast_structure;
+    Alcotest.test_case "testbed pattern" `Quick test_testbed_pattern;
+    Alcotest.test_case "deterministic build" `Quick test_determinism_of_build;
+    Alcotest.test_case "load bounds" `Quick test_load_bounds;
+    Alcotest.test_case "integration DCTCP" `Slow (integration Runner.Dctcp);
+    Alcotest.test_case "integration D2TCP" `Slow (integration Runner.D2tcp);
+    Alcotest.test_case "integration L2DCT" `Slow (integration Runner.L2dct);
+    Alcotest.test_case "integration pFabric" `Slow (integration Runner.Pfabric);
+    Alcotest.test_case "integration PDQ" `Slow (integration Runner.Pdq);
+    Alcotest.test_case "integration PASE" `Slow (integration Runner.pase);
+    Alcotest.test_case "runner deterministic" `Quick test_runner_deterministic;
+    Alcotest.test_case "runner deadline metric" `Quick test_runner_deadline_metric;
+    Alcotest.test_case "runner PASE-local" `Quick test_runner_pase_local_variant;
+  ]
