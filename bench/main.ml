@@ -8,9 +8,11 @@
      dune exec bench/main.exe -- --list       # list experiment ids
 
    Environment:
-     PASE_FLOWS  measured flows per run            (default 800)
-     PASE_LOADS  comma-separated loads, e.g. 0.2,0.5,0.9
-     PASE_SEED   workload seed                     (default 1) *)
+     PASE_FLOWS      measured flows per run            (default 800)
+     PASE_LOADS      comma-separated loads, e.g. 0.2,0.5,0.9
+     PASE_SEED       workload seed                     (default 1)
+     PASE_JOBS       worker processes (also --jobs=N)  (default: online cores)
+     PASE_CACHE_DIR  on-disk result cache ("0" = off)  (default .pase-cache) *)
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -36,36 +38,58 @@ let fmt_ms v = Printf.sprintf "%.3f" v
 let fmt_pct v = Printf.sprintf "%.1f" v
 let progress fmt = Printf.ksprintf (fun s -> Printf.eprintf "  [bench] %s\n%!" s) fmt
 
-let run_cached = Hashtbl.create 64
+(* Worker-pool width: --jobs=N beats PASE_JOBS beats online cores. Set once
+   in main before any experiment runs. *)
+let jobs = ref None
 
-(* Several figures share runs (e.g. 9a and 9b); cache by configuration. *)
+(* Several figures share runs (e.g. 9a and 9b); memoize by configuration on
+   top of Parallel's on-disk cache. Each figure prefetches its whole grid so
+   the misses fan out to the worker pool instead of running one by one. *)
+let memo : (string, Runner.result) Hashtbl.t = Hashtbl.create 64
+
+let prefetch pairs =
+  let fresh = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (proto, scenario) ->
+      let key = Parallel.job_key proto scenario in
+      if not (Hashtbl.mem memo key || Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        fresh := (key, (proto, scenario)) :: !fresh
+      end)
+    pairs;
+  match List.rev !fresh with
+  | [] -> ()
+  | fresh ->
+      let results =
+        Parallel.run_jobs ?jobs:!jobs
+          ~on_result:(fun _ ~cached ~wall r ->
+            progress "%s / %s @ %.0f%%: afct %.3f ms (%s)" r.Runner.protocol
+              r.Runner.scenario
+              (r.Runner.load *. 100.)
+              (ms r.Runner.afct)
+              (if cached then "cached" else Printf.sprintf "%.1fs wall" wall))
+          (List.map snd fresh)
+      in
+      List.iter2
+        (fun (key, _) r -> Hashtbl.replace memo key r)
+        fresh results
+
 let run proto scenario =
-  let key =
-    ( Runner.name proto,
-      scenario.Scenario.name,
-      scenario.Scenario.load,
-      scenario.Scenario.num_flows,
-      scenario.Scenario.seed,
-      match proto with
-      | Runner.Pase cfg -> Some cfg
-      | Runner.Dctcp | Runner.D2tcp | Runner.L2dct | Runner.Pfabric
-      | Runner.Pdq | Runner.D3 ->
-          None )
-  in
-  match Hashtbl.find_opt run_cached key with
+  let key = Parallel.job_key proto scenario in
+  match Hashtbl.find_opt memo key with
   | Some r -> r
   | None ->
-      let t0 = Unix.gettimeofday () in
-      let r = Runner.run proto scenario in
-      progress "%s / %s @ %.0f%%: afct %.3f ms (%.1fs wall)" r.Runner.protocol
-        r.Runner.scenario
-        (scenario.Scenario.load *. 100.)
-        (ms r.Runner.afct)
-        (Unix.gettimeofday () -. t0);
-      Hashtbl.replace run_cached key r;
-      r
+      prefetch [ (proto, scenario) ];
+      Hashtbl.find memo key
+
+let grid protocols scenarios =
+  List.concat_map
+    (fun scenario -> List.map (fun p -> (p, scenario)) protocols)
+    scenarios
 
 let sweep ~title ~columns ~protocols ~scenario ~metric ~fmt_y =
+  prefetch (grid protocols (List.map (fun load -> scenario ~load) loads));
   let rows =
     List.map
       (fun load ->
@@ -253,6 +277,7 @@ let fig9a () =
     ~fmt_y:fmt_ms
 
 let cdf_figure ~title ~protocols ~columns ~scenario =
+  prefetch (grid protocols [ scenario ]);
   let results = List.map (fun p -> run p scenario) protocols in
   let points = 20 in
   let cdfs =
@@ -307,6 +332,12 @@ let fig10b () =
     ~scenario:(left_right ~load:0.7)
 
 let fig10c () =
+  prefetch
+    (grid
+       [ Runner.pase; Runner.Pfabric ]
+       (List.map
+          (fun load -> Scenario.worker_aggregator ~num_flows:n_flows ~seed ~load ())
+          loads));
   let rows =
     List.map
       (fun load ->
@@ -334,6 +365,8 @@ let fig10c () =
 (* Section 4.3 micro-benchmarks                                         *)
 
 let fig11 () =
+  prefetch
+    (grid [ Runner.pase; pase_no_opts ] (List.map (fun load -> left_right ~load) loads));
   let rows =
     List.map
       (fun load ->
@@ -406,6 +439,18 @@ let fig13b () =
     ~fmt_y:fmt_ms
 
 let probe_ablation () =
+  let fast_low = { Config.default with Config.rto_low = 0.010 } in
+  prefetch
+    (grid
+       [
+         Runner.Pase fast_low;
+         Runner.Pase { fast_low with Config.use_probes = false };
+       ]
+       (List.filter_map
+          (fun load ->
+            if load < 0.75 then None
+            else Some (Scenario.worker_aggregator ~num_flows:n_flows ~seed ~load ()))
+          loads));
   let rows =
     List.filter_map
       (fun load ->
@@ -464,6 +509,12 @@ let ext_deadline () =
    local-only behaviour. *)
 let ext_robust () =
   let probs = [ 0.0; 0.1; 0.3; 0.5; 0.8 ] in
+  prefetch
+    (List.map
+       (fun p ->
+         ( Runner.Pase { Config.default with Config.ctrl_loss_prob = p },
+           left_right ~load:0.8 ))
+       probs);
   let rows =
     List.map
       (fun p ->
@@ -489,6 +540,7 @@ let ext_buckets () =
   let protocols =
     [ Runner.pase; Runner.Pfabric; Runner.L2dct; Runner.Dctcp ]
   in
+  prefetch (grid protocols [ scenario ]);
   let rows =
     List.map
       (fun proto ->
@@ -522,6 +574,17 @@ let ext_task () =
   let pase_task =
     Runner.Pase { Config.default with Config.scheduling = Config.Task_aware }
   in
+  prefetch
+    (grid
+       [ Runner.pase; pase_task ]
+       (List.filter_map
+          (fun load ->
+            if load < 0.35 then None
+            else
+              Some
+                (Scenario.worker_aggregator ~aggregators:4 ~num_flows:n_flows
+                   ~seed ~load ()))
+          loads));
   let rows =
     List.filter_map
       (fun load ->
@@ -558,6 +621,14 @@ let ext_task () =
    uniform random pairs — PASE needs no changes beyond its generic
    path-walking arbitration. *)
 let ext_fattree () =
+  prefetch
+    (grid
+       [ Runner.pase; Runner.Pfabric; Runner.Dctcp ]
+       (List.filter_map
+          (fun load ->
+            if load < 0.25 then None
+            else Some (Scenario.fat_tree_uniform ~k:6 ~num_flows:n_flows ~seed ~load ()))
+          loads));
   let rows =
     List.filter_map
       (fun load ->
@@ -585,6 +656,14 @@ let ext_fattree () =
    is where SRPT-style scheduling pays off most. *)
 let ext_empirical () =
   let rows scenario_of =
+    prefetch
+      (grid
+         [ Runner.pase; Runner.Pfabric; Runner.Dctcp ]
+         (List.filter_map
+            (fun load ->
+              if load < 0.45 || load > 0.85 then None
+              else Some (scenario_of ~load))
+            loads));
     List.filter_map
       (fun load ->
         if load < 0.45 || load > 0.85 then None
@@ -740,6 +819,15 @@ let experiments =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  jobs :=
+    List.find_map
+      (fun a ->
+        let prefix = "--jobs=" in
+        let plen = String.length prefix in
+        if String.length a > plen && String.sub a 0 plen = prefix then
+          int_of_string_opt (String.sub a plen (String.length a - plen))
+        else None)
+      args;
   if List.mem "--list" args then
     List.iter (fun (id, desc, _) -> Printf.printf "%-8s %s\n" id desc) experiments
   else begin

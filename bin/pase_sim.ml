@@ -3,8 +3,13 @@
    Examples:
      pase_sim run --scenario left-right --protocol pase --load 0.7
      pase_sim run --scenario worker-aggregator --protocol pfabric --load 0.9 --flows 2000
-     pase_sim compare --scenario deadline --load 0.8
-     pase_sim list *)
+     pase_sim run --scenario testbed --load 0.6 --json
+     pase_sim compare --scenario deadline --load 0.8 --jobs 8
+     pase_sim list
+
+   `compare` fans the protocols out to a fork-based worker pool (--jobs /
+   PASE_JOBS, default: online cores) and both subcommands reuse the on-disk
+   result cache (PASE_CACHE_DIR, default .pase-cache; --no-cache skips). *)
 
 let scenarios =
   [
@@ -115,14 +120,40 @@ let protocol_arg =
   let doc = "Protocol name (see `pase_sim list`)." in
   Arg.(value & opt string "pase" & info [ "protocol"; "p" ] ~docv:"NAME" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker processes for parallel simulation (default: \\$(b,PASE_JOBS) or \
+     the number of online cores)."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc = "Do not read or write the on-disk result cache." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let json_arg =
+  let doc = "Print the result as JSON instead of a table." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let cache_dir ~no_cache =
+  if no_cache then None else Parallel.default_cache_dir ()
+
 let run_cmd =
-  let action scenario protocol load flows seed =
+  let action scenario protocol load flows seed no_cache json =
     match (find_scenario scenario, find_protocol protocol) with
     | Ok sc, Ok proto ->
         if load <= 0. || load > 1. then `Error (false, "load must be in (0,1]")
         else begin
-          let r = Runner.run proto (sc ~num_flows:flows ~seed ~load) in
-          print_result r;
+          let r =
+            match
+              Parallel.run_jobs ~jobs:1 ~cache_dir:(cache_dir ~no_cache)
+                [ (proto, sc ~num_flows:flows ~seed ~load) ]
+            with
+            | [ r ] -> r
+            | _ -> assert false
+          in
+          if json then print_endline (Result_codec.to_json r)
+          else print_result r;
           `Ok ()
         end
     | Error e, _ | _, Error e -> `Error (false, e)
@@ -130,19 +161,28 @@ let run_cmd =
   let term =
     Term.(
       ret (const action $ scenario_arg $ protocol_arg $ load_arg $ flows_arg
-          $ seed_arg))
+          $ seed_arg $ no_cache_arg $ json_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol on one scenario") term
 
 let compare_cmd =
-  let action scenario load flows seed =
+  let action scenario load flows seed jobs no_cache =
     match find_scenario scenario with
     | Error e -> `Error (false, e)
     | Ok sc ->
-        let rows =
+        (* Fan every protocol out to the worker pool; results come back in
+           input order, so the table is identical to a serial run. *)
+        let pairs =
           List.map
-            (fun (name, proto) ->
-              let r = Runner.run proto (sc ~num_flows:flows ~seed ~load) in
+            (fun (_, proto) -> (proto, sc ~num_flows:flows ~seed ~load))
+            protocols
+        in
+        let results =
+          Parallel.run_jobs ?jobs ~cache_dir:(cache_dir ~no_cache) pairs
+        in
+        let rows =
+          List.map2
+            (fun (name, _) r ->
               [
                 name;
                 Printf.sprintf "%.3f" (r.Runner.afct *. 1e3);
@@ -151,7 +191,7 @@ let compare_cmd =
                  else Printf.sprintf "%.3f" r.Runner.app_throughput);
                 Printf.sprintf "%.2f" (r.Runner.loss_rate *. 100.);
               ])
-            protocols
+            protocols results
         in
         Series.print_table
           ~title:
@@ -162,10 +202,13 @@ let compare_cmd =
         `Ok ()
   in
   let term =
-    Term.(ret (const action $ scenario_arg $ load_arg $ flows_arg $ seed_arg))
+    Term.(
+      ret (const action $ scenario_arg $ load_arg $ flows_arg $ seed_arg
+          $ jobs_arg $ no_cache_arg))
   in
   Cmd.v
-    (Cmd.info "compare" ~doc:"Run every protocol on one scenario and compare")
+    (Cmd.info "compare"
+       ~doc:"Run every protocol on one scenario (in parallel) and compare")
     term
 
 let list_cmd =

@@ -1,22 +1,27 @@
 type 'a entry = { time : float; seq : int; value : 'a }
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int }
+type 'a t = { mutable arr : 'a entry array; mutable len : int; dummy : 'a entry }
 
-let create () = { arr = [||]; len = 0 }
+(* Slots >= len are dead and must not retain entries: a popped event closure
+   can capture packets and whole flows, so a stale reference keeps them alive
+   for the life of the simulation. Dead slots hold [dummy] instead. Its value
+   field is an immediate int, never read (the same technique as the stdlib's
+   Dynarray); reading it would be a bug in this module. *)
+let make_dummy () = { time = nan; seq = min_int; value = Obj.magic 0 }
+
+let create () = { arr = [||]; len = 0; dummy = make_dummy () }
 
 let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
 let grow t =
   let cap = Array.length t.arr in
   let ncap = if cap = 0 then 64 else cap * 2 in
-  (* The placeholder below is never read: slots >= len are dead. *)
-  let narr = Array.make ncap t.arr.(0) in
+  let narr = Array.make ncap t.dummy in
   Array.blit t.arr 0 narr 0 t.len;
   t.arr <- narr
 
 let add t ~time ~seq value =
   let e = { time; seq; value } in
-  if t.len = 0 && Array.length t.arr = 0 then t.arr <- Array.make 64 e;
   if t.len = Array.length t.arr then grow t;
   t.arr.(t.len) <- e;
   t.len <- t.len + 1;
@@ -41,6 +46,7 @@ let pop t =
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.arr.(0) <- t.arr.(t.len);
+      t.arr.(t.len) <- t.dummy;
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
@@ -57,7 +63,8 @@ let pop t =
         end
         else continue := false
       done
-    end;
+    end
+    else t.arr.(0) <- t.dummy;
     Some (top.time, top.value)
   end
 

@@ -39,27 +39,37 @@ let run ?until ?max_events t =
   t.stopped <- false;
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
   let continue = ref true in
+  let exhausted = ref false in
+  (* The horizon check peeks instead of popping-and-reinserting: the future
+     event keeps its original seq, so FIFO tie-order is stable across chunked
+     [run ~until] calls. *)
   while !continue && not t.stopped do
-    match Eheap.pop t.heap with
-    | None -> continue := false
-    | Some (time, e) ->
-        if not e.live then ()
-        else begin
-          (match until with
-          | Some horizon when time > horizon ->
-              (* Push the event back and stop: it belongs to the future. *)
-              let seq = t.seq in
-              t.seq <- seq + 1;
-              Eheap.add t.heap ~time ~seq e;
-              continue := false
-          | _ ->
+    match (Eheap.peek_time t.heap, until) with
+    | None, _ ->
+        exhausted := true;
+        continue := false
+    | Some next, Some horizon when next > horizon ->
+        exhausted := true;
+        continue := false
+    | Some _, _ -> (
+        match Eheap.pop t.heap with
+        | None -> continue := false
+        | Some (time, e) ->
+            if e.live then begin
               t.time <- time;
               t.processed <- t.processed + 1;
               e.fn ();
               decr budget;
-              if !budget <= 0 then continue := false)
-        end
-  done
+              if !budget <= 0 then continue := false
+            end)
+  done;
+  (* A run that reached its horizon (rather than being stopped or running out
+     of event budget) has simulated the whole [0, until] window: advance the
+     clock so [now] reports the horizon, not the last event time. *)
+  match until with
+  | Some horizon when !exhausted && (not t.stopped) && horizon > t.time ->
+      t.time <- horizon
+  | _ -> ()
 
 let stop t = t.stopped <- true
 let events_processed t = t.processed

@@ -28,7 +28,11 @@ val schedule_cancellable : t -> delay:float -> (unit -> unit) -> cancel
 
 (** [run ?until ?max_events t] processes events in order. Stops when the
     queue is empty, when virtual time would exceed [until], or after
-    [max_events] events. *)
+    [max_events] events. When the run covers the whole window — i.e. it was
+    not cut short by {!stop} or [max_events] — the clock advances to [until]
+    on return, so censoring at [now t] measures against the horizon. Events
+    beyond [until] stay queued with their original insertion order, making a
+    sequence of chunked [run ~until] calls equivalent to one big run. *)
 val run : ?until:float -> ?max_events:int -> t -> unit
 
 (** [stop t] makes [run] return after the current event completes. *)

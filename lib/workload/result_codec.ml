@@ -1,0 +1,85 @@
+let version = 1
+let magic = "PASE-RES"
+let header_len = String.length magic + 4
+
+let encode (r : Runner.result) =
+  Printf.sprintf "%s%04d%s" magic version
+    (Marshal.to_string (r : Runner.result) [])
+
+let decode s =
+  if String.length s < header_len then Error "truncated header"
+  else if String.sub s 0 (String.length magic) <> magic then
+    Error "bad magic (not a PASE result blob)"
+  else
+    match int_of_string_opt (String.sub s (String.length magic) 4) with
+    | None -> Error "unreadable version field"
+    | Some v when v <> version ->
+        Error (Printf.sprintf "version mismatch: blob v%d, codec v%d" v version)
+    | Some _ -> (
+        try Ok (Marshal.from_string s header_len : Runner.result)
+        with exn ->
+          Error (Printf.sprintf "corrupt payload: %s" (Printexc.to_string exn)))
+
+(* ---- JSON export ------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no nan/inf; those become null. %.17g round-trips doubles. *)
+let json_float f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else Printf.sprintf "%.17g" f
+
+let json_opt_float = function None -> "null" | Some f -> json_float f
+let json_opt_int = function None -> "null" | Some i -> string_of_int i
+
+let record_to_json (r : Fct.record) =
+  Printf.sprintf
+    {|{"flow":%d,"size_pkts":%d,"start":%s,"fct":%s,"deadline":%s,"censored":%b,"ideal":%s,"task":%s}|}
+    r.Fct.flow r.Fct.size_pkts
+    (json_float r.Fct.start_time)
+    (json_float r.Fct.fct)
+    (json_opt_float r.Fct.deadline)
+    r.Fct.censored
+    (json_opt_float r.Fct.ideal)
+    (json_opt_int r.Fct.task)
+
+let to_json ?(records = false) (r : Runner.result) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"version":%d,"scenario":"%s","protocol":"%s","load":%s,"afct":%s,"p99":%s,"app_throughput":%s,"loss_rate":%s,"ctrl_msgs":%d,"ctrl_msg_rate":%s,"duration":%s,"events":%d,"completed":%d,"censored":%d|}
+       version (json_escape r.Runner.scenario)
+       (json_escape r.Runner.protocol)
+       (json_float r.Runner.load) (json_float r.Runner.afct)
+       (json_float r.Runner.p99)
+       (json_float r.Runner.app_throughput)
+       (json_float r.Runner.loss_rate)
+       r.Runner.ctrl_msgs
+       (json_float r.Runner.ctrl_msg_rate)
+       (json_float r.Runner.duration)
+       r.Runner.events r.Runner.completed r.Runner.censored);
+  if records then begin
+    Buffer.add_string buf ",\"flows\":[";
+    List.iteri
+      (fun i rec_ ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (record_to_json rec_))
+      (Fct.records r.Runner.fct);
+    Buffer.add_char buf ']'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

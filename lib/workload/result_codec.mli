@@ -1,0 +1,25 @@
+(** Versioned serialization of {!Runner.result}, used by the parallel runner
+    to stream results from worker processes over pipes and to persist them in
+    the on-disk result cache.
+
+    Two encodings:
+    - a binary one (OCaml [Marshal] behind a magic + version header) that
+      round-trips the full record, per-flow FCT samples included;
+    - a one-way JSON export of the summary metrics for external tooling. *)
+
+(** Bumped whenever {!Runner.result} (or anything it embeds) changes shape,
+    invalidating previously cached blobs. *)
+val version : int
+
+(** [encode r] is a self-describing binary blob. Encoding is deterministic:
+    equal results produce equal blobs. *)
+val encode : Runner.result -> string
+
+(** [decode s] recovers a result, or [Error reason] on a truncated blob, a
+    foreign payload, or a version mismatch. *)
+val decode : string -> (Runner.result, string) result
+
+(** [to_json ?records r] renders the summary metrics as a JSON object
+    ([nan]/infinite floats become [null]). With [~records:true] the per-flow
+    FCT records are included under ["flows"]. *)
+val to_json : ?records:bool -> Runner.result -> string

@@ -139,7 +139,12 @@ let run ?horizon protocol scenario =
   in
   let total_measured = List.length measured in
   let completed = ref 0 in
-  let open_flows : (int, Scenario.flow_spec) Hashtbl.t = Hashtbl.create 256 in
+  (* Flows still open at the horizon: spec plus the launch-time size and
+     zero-load FCT, so censored records carry the same [ideal] and [task]
+     fields as completed ones. *)
+  let open_flows : (int, Scenario.flow_spec * int * float) Hashtbl.t =
+    Hashtbl.create 256
+  in
   let next_id = ref 0 in
   let launch (spec : Scenario.flow_spec) =
     let id = !next_id in
@@ -157,7 +162,6 @@ let run ?horizon protocol scenario =
         ~data_bytes:(mss + Packet.header_bytes)
     in
     let recv = Receiver.create net ~flow ~ack_tos:0 ~ack_prio:0. () in
-    if not spec.Scenario.long_lived then Hashtbl.replace open_flows id spec;
     (* Zero-load FCT: base RTT plus serialization of the remaining train at
        the edge rate (slowdown denominator). *)
     let ideal =
@@ -165,6 +169,8 @@ let run ?horizon protocol scenario =
       +. float_of_int ((size_pkts - 1) * 8 * (mss + Packet.header_bytes))
          /. topo.Topology.edge_rate_bps
     in
+    if not spec.Scenario.long_lived then
+      Hashtbl.replace open_flows id (spec, size_pkts, ideal);
     let on_complete _sender ~fct:flow_fct =
       Receiver.stop recv;
       if not spec.Scenario.long_lived then begin
@@ -236,12 +242,11 @@ let run ?horizon protocol scenario =
   let end_time = Engine.now engine in
   (* Flows still open at the horizon are censored. *)
   Hashtbl.iter
-    (fun id (spec : Scenario.flow_spec) ->
-      Fct.add fct ~flow:id
-        ~size_pkts:(Flow.size_pkts_of_bytes ~mss spec.Scenario.size_bytes)
-        ~start_time:spec.Scenario.start
+    (fun id ((spec : Scenario.flow_spec), size_pkts, ideal) ->
+      Fct.add fct ~flow:id ~size_pkts ~start_time:spec.Scenario.start
         ~fct:(Float.max 0. (end_time -. spec.Scenario.start))
-        ?deadline:spec.Scenario.deadline ~censored:true ())
+        ?deadline:spec.Scenario.deadline ~ideal ?task:spec.Scenario.task
+        ~censored:true ())
     open_flows;
   let completed_fcts = Fct.completed_fcts fct in
   {

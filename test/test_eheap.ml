@@ -61,6 +61,41 @@ let test_interleaved () =
   let t3, _ = Option.get (Eheap.pop h) in
   Alcotest.(check (list (float 0.))) "order" [ 1.; 2.; 3. ] [ t1; t2; t3 ]
 
+(* Regression: [pop] used to leave the removed entry reachable at
+   [arr.(len)] (and [grow] used to copy dead slots), retaining popped values
+   — event closures, packets — for the life of the heap. Popped values must
+   become collectable as soon as the caller drops them. *)
+let heap_with_popped_values n =
+  let h = Eheap.create () in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let v = Bytes.make 64 (Char.chr (65 + (i mod 26))) in
+    Weak.set w i (Some v);
+    Eheap.add h ~time:(float_of_int i) ~seq:i v
+  done;
+  for _ = 1 to n do
+    ignore (Eheap.pop h)
+  done;
+  (h, w)
+
+let test_pop_releases_values () =
+  let h, w = heap_with_popped_values 1 in
+  Gc.full_major ();
+  Alcotest.(check bool) "popped value collected" false (Weak.check w 0);
+  Alcotest.(check int) "heap empty" 0 (Eheap.size (Sys.opaque_identity h))
+
+let test_pop_releases_values_after_grow () =
+  (* More entries than the initial capacity, so [grow] runs too. *)
+  let n = 200 in
+  let h, w = heap_with_popped_values n in
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "popped value %d collected" i)
+      false (Weak.check w i)
+  done;
+  Alcotest.(check int) "heap empty" 0 (Eheap.size (Sys.opaque_identity h))
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"Eheap drains in sorted key order" ~count:200
     QCheck.(list (float_bound_inclusive 1000.))
@@ -94,6 +129,9 @@ let suite =
     Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
     Alcotest.test_case "size tracking" `Quick test_size_tracking;
     Alcotest.test_case "interleaved" `Quick test_interleaved;
+    Alcotest.test_case "pop releases values" `Quick test_pop_releases_values;
+    Alcotest.test_case "pop releases values after grow" `Quick
+      test_pop_releases_values_after_grow;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_fifo_on_equal_keys;
   ]

@@ -70,6 +70,44 @@ let test_until () =
   Engine.run e;
   Alcotest.(check int) "rest runs later" 4 !count
 
+(* Regression: [run ~until] used to stop at the last processed event without
+   advancing the clock to the horizon, understating censored-flow FCTs and
+   inflating per-second rates computed against [now]. *)
+let test_until_advances_clock () =
+  let e = Engine.create () in
+  List.iter (fun t -> Engine.schedule e ~delay:t ignore) [ 0.1; 0.2; 1.5 ];
+  Engine.run ~until:1.0 e;
+  Alcotest.(check (float 1e-12)) "clock at horizon" 1.0 (Engine.now e);
+  (* Also when the queue drains before the horizon. *)
+  let e2 = Engine.create () in
+  Engine.schedule e2 ~delay:0.1 ignore;
+  Engine.run ~until:1.0 e2;
+  Alcotest.(check (float 1e-12)) "clock at horizon after drain" 1.0 (Engine.now e2)
+
+let test_stop_beats_horizon_clamp () =
+  (* [stop] means the run did not cover the window: keep the event-time clock. *)
+  let e = Engine.create () in
+  Engine.schedule e ~delay:0.1 (fun () -> Engine.stop e);
+  Engine.schedule e ~delay:0.2 ignore;
+  Engine.run ~until:1.0 e;
+  Alcotest.(check (float 1e-12)) "clock stays at stop time" 0.1 (Engine.now e)
+
+(* Regression: a future event cut off by [~until] used to be popped and
+   re-inserted with a fresh seq, so chunked [run ~until] calls broke FIFO
+   ordering of simultaneous events. *)
+let test_fifo_ties_across_chunked_runs () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  for i = 0 to 4 do
+    Engine.schedule e ~delay:1.7 (fun () -> seen := i :: !seen)
+  done;
+  Engine.run ~until:1.0 e;
+  Alcotest.(check (list int)) "nothing before horizon" [] (List.rev !seen);
+  Engine.run ~until:1.5 e;
+  Engine.run ~until:2.0 e;
+  Alcotest.(check (list int))
+    "FIFO preserved across chunks" [ 0; 1; 2; 3; 4 ] (List.rev !seen)
+
 let test_max_events () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -104,6 +142,10 @@ let suite =
     Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
     Alcotest.test_case "stop and resume" `Quick test_stop;
     Alcotest.test_case "until horizon" `Quick test_until;
+    Alcotest.test_case "until advances clock" `Quick test_until_advances_clock;
+    Alcotest.test_case "stop beats horizon clamp" `Quick test_stop_beats_horizon_clamp;
+    Alcotest.test_case "FIFO ties across chunked runs" `Quick
+      test_fifo_ties_across_chunked_runs;
     Alcotest.test_case "max events" `Quick test_max_events;
     Alcotest.test_case "past scheduling rejected" `Quick test_past_scheduling_rejected;
     Alcotest.test_case "events processed" `Quick test_events_processed;

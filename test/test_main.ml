@@ -14,6 +14,7 @@ let () =
       ("pase-core", Test_pase_core.suite);
       ("stats", Test_stats.suite);
       ("workload", Test_workload.suite);
+      ("determinism", Test_determinism.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
       ("fat-tree", Test_fat_tree.suite);
