@@ -769,7 +769,7 @@ let micro () =
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
   let results = Analyze.all ols (List.hd instances) raw in
   let rows =
-    Hashtbl.fold
+    Det_tbl.fold
       (fun name ols acc ->
         let est =
           match Analyze.OLS.estimates ols with

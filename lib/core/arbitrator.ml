@@ -41,7 +41,7 @@ let mem t ~flow = Hashtbl.mem t.entries flow
 
 let expire t ~now ~max_age =
   let stale =
-    Hashtbl.fold
+    Det_tbl.fold
       (fun flow e acc -> if now -. e.refreshed > max_age then flow :: acc else acc)
       t.entries []
   in
@@ -50,7 +50,7 @@ let expire t ~now ~max_age =
 let arbitrate t ~num_queues ~base_rate_bps =
   Hashtbl.reset t.results;
   let inputs =
-    Hashtbl.fold
+    Det_tbl.fold
       (fun flow e acc ->
         { Arbitration.flow; criterion = e.criterion; demand_bps = e.demand_bps }
         :: acc)
@@ -72,7 +72,7 @@ let arbitrate t ~num_queues ~base_rate_bps =
 let cached t ~flow = Hashtbl.find_opt t.results flow
 
 let total_demand t =
-  Hashtbl.fold (fun _ e acc -> acc +. e.demand_bps) t.entries 0.
+  Det_tbl.fold (fun _ e acc -> acc +. e.demand_bps) t.entries 0.
 
 let in_top_queues t ~k =
   let n = Array.length t.top_counts in

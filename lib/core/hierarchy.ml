@@ -117,7 +117,7 @@ let virtual_arb t (a, b) tor =
    the aggregate demand it currently sees, so children carrying
    high-priority traffic get more of the parent link (§3.1.2). *)
 let rebalance t =
-  Hashtbl.iter
+  Det_tbl.iter
     (fun (a, b) group ->
       let link =
         match Net.link_from t.topo.Topology.net a b with
@@ -199,7 +199,7 @@ let build_contacts t ~(flow : Flow.t) =
         let cur = try Hashtbl.find tbl h with Not_found -> [] in
         Hashtbl.replace tbl h (arb :: cur))
       side;
-    Hashtbl.fold
+    Det_tbl.fold
       (fun h arbs acc ->
         {
           arbs;
@@ -227,8 +227,8 @@ let build_contacts t ~(flow : Flow.t) =
 
 let all_arbitrators t =
   let acc = ref [] in
-  Hashtbl.iter (fun _ a -> acc := a :: !acc) t.real;
-  Hashtbl.iter (fun _ a -> acc := a :: !acc) t.virtuals;
+  Det_tbl.iter (fun _ a -> acc := a :: !acc) t.real;
+  Det_tbl.iter (fun _ a -> acc := a :: !acc) t.virtuals;
   !acc
 
 (* One arbitration round: refresh (phase A), re-arbitrate (phase B), combine
@@ -237,8 +237,10 @@ let all_arbitrators t =
 let round t =
   t.rounds <- t.rounds + 1;
   let now = Engine.now t.engine in
-  (* Phase A: refresh arbitrator state along each flow's contact chain. *)
-  Hashtbl.iter
+  (* Phase A: refresh arbitrator state along each flow's contact chain.
+     Sorted traversal: flow-id order fixes the RNG draw sequence for
+     control-loss injection and the ctrl_msgs accounting order. *)
+  Det_tbl.iter
     (fun _ fs ->
       let criterion = fs.criterion () in
       let demand = fs.demand () in
@@ -296,8 +298,10 @@ let round t =
       Arbitrator.arbitrate arb ~num_queues:t.cfg.Config.num_queues
         ~base_rate_bps:t.base_rate_bps)
     (all_arbitrators t);
-  (* Phase C: combine per-link decisions and deliver after control latency. *)
-  Hashtbl.iter
+  (* Phase C: combine per-link decisions and deliver after control latency.
+     Sorted traversal: apply callbacks are scheduled here, so flow-id order
+     fixes the engine's FIFO tie-break for same-time events. *)
+  Det_tbl.iter
     (fun _ fs ->
       (* A pruned flow has no fresh upstream info: it keeps (at least) its
          previous queue. Fully-arbitrated flows take the fresh decision, so

@@ -176,5 +176,4 @@ let path_count t ~src ~dst =
 let link_from t a b = Hashtbl.find_opt t.directed (a, b)
 
 let links t =
-  Hashtbl.fold (fun (a, b) l acc -> (a, b, l) :: acc) t.directed []
-  |> List.sort (fun (a, b, _) (c, d, _) -> compare (a, b) (c, d))
+  List.map (fun ((a, b), l) -> (a, b, l)) (Det_tbl.to_list t.directed)

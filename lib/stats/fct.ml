@@ -86,7 +86,7 @@ let task_completion_times t =
               Float.max last_end (r.start_time +. r.fct),
               censored || r.censored ))
     t.records;
-  Hashtbl.fold
+  Det_tbl.fold
     (fun _ (first_start, last_end, censored) acc ->
       if censored then acc else (last_end -. first_start) :: acc)
     groups []

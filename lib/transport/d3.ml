@@ -26,7 +26,7 @@ module Router = struct
     if n = 0 then 0.
     else begin
       let sorted =
-        Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+        Det_tbl.fold (fun _ e acc -> e :: acc) t.entries []
         |> List.sort (fun a b -> compare a.arrival b.arrival)
       in
       (* FCFS greedy satisfaction of reservations. *)

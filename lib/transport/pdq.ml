@@ -45,7 +45,7 @@ module Arbiter = struct
      next in line (Early Start). *)
   let allocation t ~flow ~rtt ~mss_bits =
     let sorted =
-      Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+      Det_tbl.fold (fun _ e acc -> e :: acc) t.entries []
       |> List.sort compare_entries
     in
     let rec walk avail = function

@@ -26,7 +26,8 @@ let default_cache_dir () =
 let code_version =
   lazy
     (try Digest.to_hex (Digest.file Sys.executable_name)
-     with _ -> Printf.sprintf "codec-v%d-only" Result_codec.version)
+     with Sys_error _ | Unix.Unix_error _ ->
+       Printf.sprintf "codec-v%d-only" Result_codec.version)
 
 let fl = Printf.sprintf "%.17g"
 
@@ -116,7 +117,9 @@ let cache_load dir key =
   | Some blob -> (
       (* Stale or foreign blobs are treated as misses and overwritten. *)
       match Result_codec.decode blob with Ok r -> Some r | Error _ -> None)
-  | exception _ -> None
+  (* A cache entry that vanishes or truncates mid-read is a miss, nothing
+     more; anything else (Out_of_memory, ...) must propagate. *)
+  | exception (Sys_error _ | End_of_file | Unix.Unix_error _) -> None
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
@@ -135,7 +138,9 @@ let cache_store dir key r =
       ~finally:(fun () -> close_out_noerr oc)
       (fun () -> output_string oc (Result_codec.encode r));
     Sys.rename tmp path
-  with _ -> () (* a cold cache is always safe *)
+  with Sys_error _ | Unix.Unix_error _ -> ()
+  (* a cold cache is always safe: a full disk or permission error only
+     costs a re-simulation next run *)
 
 (* ---- worker pool -------------------------------------------------------- *)
 
@@ -179,7 +184,7 @@ let run_pool ~jobs ~horizon ~(arr : job array) pending ~on_done =
                 (Printexc.to_string exn);
               1
         in
-        (try Unix.close wr with _ -> ());
+        (try Unix.close wr with Unix.Unix_error _ -> ());
         (* _exit, not exit: at_exit in a fork would rerun the parent's
            teardown (and flush its channels) a second time. *)
         Unix._exit status
@@ -189,12 +194,15 @@ let run_pool ~jobs ~horizon ~(arr : job array) pending ~on_done =
           { pid; idx; buf = Buffer.create 8192; started = Unix.gettimeofday () }
   in
   let kill_all () =
-    Hashtbl.iter
+    (* Best-effort teardown on the error path: descriptors may already be
+       closed and children already reaped, so EBADF/ESRCH/ECHILD are
+       expected here — but only Unix errors are. *)
+    Det_tbl.iter
       (fun fd w ->
-        (try Unix.close fd with _ -> ());
-        (try Unix.kill w.pid Sys.sigkill with _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
         try ignore (restart_on_eintr (fun () -> Unix.waitpid [] w.pid))
-        with _ -> ())
+        with Unix.Unix_error _ -> ())
       active;
     Hashtbl.reset active
   in
@@ -227,7 +235,7 @@ let run_pool ~jobs ~horizon ~(arr : job array) pending ~on_done =
           spawn idx
     done;
     if Hashtbl.length active > 0 then begin
-      let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) active [] in
+      let fds = Det_tbl.fold (fun fd _ acc -> fd :: acc) active [] in
       let ready, _, _ =
         restart_on_eintr (fun () -> Unix.select fds [] [] (-1.))
       in

@@ -240,8 +240,9 @@ let run ?horizon protocol scenario =
   Engine.run ~until:horizon engine;
   (match hierarchy with Some h -> Hierarchy.stop h | None -> ());
   let end_time = Engine.now engine in
-  (* Flows still open at the horizon are censored. *)
-  Hashtbl.iter
+  (* Flows still open at the horizon are censored. Sorted traversal: the
+     Fct.add order below is the record order in the published result. *)
+  Det_tbl.iter
     (fun id ((spec : Scenario.flow_spec), size_pkts, ideal) ->
       Fct.add fct ~flow:id ~size_pkts ~start_time:spec.Scenario.start
         ~fct:(Float.max 0. (end_time -. spec.Scenario.start))

@@ -1,0 +1,153 @@
+(* pase_lint: each rule fires exactly once on its fixture, pragmas
+   suppress (with a justification) or are themselves flagged, file
+   allowlists work, and the shipped tree is lint-clean. *)
+
+let rules fs = List.map (fun f -> f.Lint_engine.rule) fs
+let lint src = Lint_engine.lint_source ~file:"fixture.ml" src
+
+let check_rules msg expected src =
+  Alcotest.(check (list string)) msg expected (rules (lint src))
+
+let test_clean () =
+  check_rules "no findings on clean code" []
+    {|let f h = Hashtbl.find_opt h 0
+let g h k v = Hashtbl.replace h k v
+let s xs = List.fold_left ( +. ) 0. xs|}
+
+let test_unseeded_random () =
+  check_rules "Random.* flagged" [ "no-unseeded-random" ]
+    {|let x () = Random.int 5|}
+
+let test_wallclock () =
+  check_rules "Unix.gettimeofday flagged" [ "no-wallclock" ]
+    {|let t () = Unix.gettimeofday ()|};
+  check_rules "Sys.time flagged" [ "no-wallclock" ] {|let t () = Sys.time ()|}
+
+let test_hash_order () =
+  check_rules "Hashtbl.fold flagged" [ "no-hash-order" ]
+    {|let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []|};
+  check_rules "Hashtbl.iter flagged" [ "no-hash-order" ]
+    {|let f h = Hashtbl.iter (fun _ _ -> ()) h|};
+  check_rules "Det_tbl not flagged" []
+    {|let f h = Det_tbl.fold (fun k _ acc -> k :: acc) h []|}
+
+let test_silent_catchall () =
+  check_rules "try-with wildcard flagged" [ "no-silent-catchall" ]
+    {|let f g = try g () with _ -> 0|};
+  check_rules "match-exception wildcard flagged" [ "no-silent-catchall" ]
+    {|let f g = match g () with v -> v | exception _ -> 0|};
+  check_rules "explicit handler not flagged" []
+    {|let f g = try g () with Not_found -> 0|}
+
+let test_marshal () =
+  check_rules "Marshal flagged" [ "no-marshal" ]
+    {|let s x = Marshal.to_string x []|}
+
+let test_obj_magic () =
+  check_rules "Obj.magic flagged" [ "no-obj-magic" ] {|let c x = Obj.magic x|};
+  check_rules "other Obj.* not flagged" [] {|let r x = Obj.repr x|}
+
+let test_mentions_in_comments_and_strings () =
+  check_rules "comments and strings are not code" []
+    {|(* Hashtbl.fold would be bad; so would Random.int *)
+let doc = "call Hashtbl.fold or try ... with _ -> here"|}
+
+let test_pragma_same_line () =
+  check_rules "trailing pragma suppresses" []
+    {|let f h = Hashtbl.fold (fun k _ a -> k :: a) h [] (* lint: allow no-hash-order — test fixture *)|}
+
+let test_pragma_previous_line () =
+  check_rules "pragma on the line above suppresses" []
+    {|(* lint: allow no-hash-order — test fixture *)
+let f h = Hashtbl.iter (fun _ _ -> ()) h|}
+
+let test_pragma_wrong_rule () =
+  check_rules "pragma for another rule does not suppress" [ "no-hash-order" ]
+    {|(* lint: allow no-wallclock — wrong rule *)
+let f h = Hashtbl.iter (fun _ _ -> ()) h|}
+
+let test_pragma_out_of_range () =
+  check_rules "pragma two lines up does not suppress" [ "no-hash-order" ]
+    {|(* lint: allow no-hash-order — too far away *)
+
+let f h = Hashtbl.iter (fun _ _ -> ()) h|}
+
+let test_pragma_unknown_rule () =
+  check_rules "unknown rule name is flagged" [ "bad-pragma" ]
+    {|(* lint: allow no-such-rule — whatever *)
+let x = 1|}
+
+let test_pragma_missing_reason () =
+  check_rules "justification is mandatory"
+    [ "bad-pragma"; "no-hash-order" ]
+    {|(* lint: allow no-hash-order *)
+let f h = Hashtbl.iter (fun _ _ -> ()) h|}
+
+let test_file_allowlists () =
+  let check_allowed file src =
+    Alcotest.(check (list string))
+      (file ^ " is allowlisted") []
+      (rules (Lint_engine.lint_source ~file src))
+  in
+  check_allowed "lib/sim/rng.ml" {|let x () = Random.int 5|};
+  check_allowed "lib/workload/parallel.ml" {|let t () = Unix.gettimeofday ()|};
+  check_allowed "lib/sim/det_tbl.ml"
+    {|let f h = Hashtbl.fold (fun k _ a -> k :: a) h []|};
+  check_allowed "lib/workload/result_codec.ml"
+    {|let s x = Marshal.to_string x []|};
+  check_allowed "lib/sim/eheap.ml" {|let c x = Obj.magic x|};
+  (* The allowlist is per rule, not a blanket exemption. *)
+  Alcotest.(check (list string))
+    "rng.ml still checked for other rules" [ "no-hash-order" ]
+    (rules
+       (Lint_engine.lint_source ~file:"lib/sim/rng.ml"
+          {|let f h = Hashtbl.iter (fun _ _ -> ()) h|}))
+
+let test_parse_error () =
+  check_rules "unparsable source is reported" [ "parse-error" ]
+    {|let f = (|}
+
+(* The shipped tree must be clean: every banned construct is either
+   migrated or carries a justified pragma. Mirrors `dune build @lint`. *)
+let test_tree_is_clean () =
+  let root =
+    List.find_opt
+      (fun d -> Sys.file_exists (Filename.concat d "lib"))
+      [ "."; ".."; Filename.concat ".." ".." ]
+  in
+  match root with
+  | None -> Alcotest.fail "cannot locate the source tree from the test cwd"
+  | Some root ->
+      let paths =
+        List.filter Sys.file_exists
+          (List.map (Filename.concat root) [ "lib"; "bin"; "bench" ])
+      in
+      let findings = Lint_engine.lint_paths paths in
+      Alcotest.(check (list string))
+        (Printf.sprintf "tree under %s is lint-clean" root)
+        []
+        (List.map (Format.asprintf "%a" Lint_engine.pp_finding) findings)
+
+let suite =
+  [
+    Alcotest.test_case "clean code" `Quick test_clean;
+    Alcotest.test_case "no-unseeded-random" `Quick test_unseeded_random;
+    Alcotest.test_case "no-wallclock" `Quick test_wallclock;
+    Alcotest.test_case "no-hash-order" `Quick test_hash_order;
+    Alcotest.test_case "no-silent-catchall" `Quick test_silent_catchall;
+    Alcotest.test_case "no-marshal" `Quick test_marshal;
+    Alcotest.test_case "no-obj-magic" `Quick test_obj_magic;
+    Alcotest.test_case "comments and strings ignored" `Quick
+      test_mentions_in_comments_and_strings;
+    Alcotest.test_case "pragma same line" `Quick test_pragma_same_line;
+    Alcotest.test_case "pragma previous line" `Quick test_pragma_previous_line;
+    Alcotest.test_case "pragma wrong rule" `Quick test_pragma_wrong_rule;
+    Alcotest.test_case "pragma out of range" `Quick test_pragma_out_of_range;
+    Alcotest.test_case "pragma unknown rule" `Quick test_pragma_unknown_rule;
+    Alcotest.test_case "pragma missing reason" `Quick test_pragma_missing_reason;
+    Alcotest.test_case "file allowlists" `Quick test_file_allowlists;
+    Alcotest.test_case "parse error reported" `Quick test_parse_error;
+    Alcotest.test_case "shipped tree is clean" `Quick test_tree_is_clean;
+  ]
+
+let () = Alcotest.run "pase-lint" [ ("lint", suite) ]

@@ -1,0 +1,454 @@
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let rule_ids =
+  [
+    "no-unseeded-random";
+    "no-wallclock";
+    "no-hash-order";
+    "no-silent-catchall";
+    "no-marshal";
+    "no-obj-magic";
+  ]
+
+(* Per-rule file allowlists: the one blessed implementation site of each
+   banned construct. Matched as a path suffix so the linter works from the
+   repo root, from _build sandboxes, and over relative paths alike. *)
+let allowed_files = function
+  | "no-unseeded-random" -> [ "lib/sim/rng.ml" ]
+  | "no-wallclock" -> [ "lib/workload/parallel.ml" ]
+  | "no-hash-order" -> [ "lib/sim/det_tbl.ml" ]
+  | "no-marshal" -> [ "lib/workload/result_codec.ml" ]
+  | "no-obj-magic" -> [ "lib/sim/eheap.ml" ]
+  | _ -> []
+
+let normalize_path p = String.map (fun c -> if c = '\\' then '/' else c) p
+
+let file_allowed ~file rule =
+  let file = normalize_path file in
+  List.exists
+    (fun a -> file = a || Filename.check_suffix file ("/" ^ a))
+    (allowed_files rule)
+
+(* ---- comment / pragma scanning ------------------------------------------ *)
+
+type comment = { text : string; sline : int; eline : int }
+
+(* A hand-rolled scanner rather than the compiler lexer: [Lexer.token]
+   drops comments unless the full init dance is replayed, and we need
+   byte-accurate line spans anyway. Tracks string literals, quoted strings
+   ({id|...|id}), char literals (so a double-quote char literal does not
+   open a string) and nested comments, both in code and inside comments,
+   mirroring the concerns of the real lexer. *)
+let scan_comments src =
+  let n = String.length src in
+  let comments = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let advance () =
+    if !i < n then begin
+      if src.[!i] = '\n' then incr line;
+      incr i
+    end
+  in
+  let is_id c = (c >= 'a' && c <= 'z') || c = '_' in
+  (* If a quoted-string opener (brace, id, pipe) starts at the cursor,
+     return its delimiter id. *)
+  let quoted_opener () =
+    if peek 0 <> Some '{' then None
+    else begin
+      let j = ref (!i + 1) in
+      while !j < n && is_id src.[!j] do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then
+        Some (String.sub src (!i + 1) (!j - !i - 1))
+      else None
+    end
+  in
+  let skip_quoted id =
+    (* Past the opener; consume until the matching pipe-id-brace closer. *)
+    let closer = "|" ^ id ^ "}" in
+    let len = String.length closer in
+    let closed = ref false in
+    while (not !closed) && !i < n do
+      if !i + len <= n && String.sub src !i len = closer then begin
+        for _ = 1 to len do
+          advance ()
+        done;
+        closed := true
+      end
+      else advance ()
+    done
+  in
+  let skip_string () =
+    (* Past the opening quote; consume up to and including the closer. *)
+    let closed = ref false in
+    while (not !closed) && !i < n do
+      match src.[!i] with
+      | '\\' ->
+          advance ();
+          advance ()
+      | '"' ->
+          advance ();
+          closed := true
+      | _ -> advance ()
+    done
+  in
+  let skip_char_literal () =
+    (* At a ['] that may open a char literal or be a type variable. *)
+    match peek 1 with
+    | Some '\\' ->
+        advance ();
+        advance ();
+        advance ();
+        (* numeric escapes: consume until the closing quote *)
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          if src.[!i] = '\'' then begin
+            advance ();
+            closed := true
+          end
+          else advance ()
+        done
+    | Some _ when peek 2 = Some '\'' ->
+        advance ();
+        advance ();
+        advance ()
+    | _ -> advance ()
+  in
+  while !i < n do
+    match src.[!i] with
+    | '"' ->
+        advance ();
+        skip_string ()
+    | '\'' -> skip_char_literal ()
+    | '{' -> (
+        match quoted_opener () with
+        | Some id ->
+            for _ = 1 to String.length id + 2 do
+              advance ()
+            done;
+            skip_quoted id
+        | None -> advance ())
+    | '(' when peek 1 = Some '*' ->
+        let sline = !line in
+        let buf = Buffer.create 64 in
+        advance ();
+        advance ();
+        let depth = ref 1 in
+        while !depth > 0 && !i < n do
+          if peek 0 = Some '(' && peek 1 = Some '*' then begin
+            incr depth;
+            Buffer.add_string buf "(*";
+            advance ();
+            advance ()
+          end
+          else if peek 0 = Some '*' && peek 1 = Some ')' then begin
+            decr depth;
+            if !depth > 0 then Buffer.add_string buf "*)";
+            advance ();
+            advance ()
+          end
+          else
+            match src.[!i] with
+            | '"' ->
+                let s = !i in
+                advance ();
+                skip_string ();
+                Buffer.add_string buf (String.sub src s (!i - s))
+            | '\'' ->
+                let s = !i in
+                skip_char_literal ();
+                Buffer.add_string buf (String.sub src s (!i - s))
+            | c ->
+                Buffer.add_char buf c;
+                advance ()
+        done;
+        comments :=
+          { text = Buffer.contents buf; sline; eline = !line } :: !comments
+    | _ -> advance ()
+  done;
+  List.rev !comments
+
+type pragma = {
+  p_rule : string;
+  p_known : bool;
+  p_justified : bool;
+  p_sline : int;
+  p_eline : int;
+}
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let drop_prefix s k = String.sub s k (String.length s - k)
+
+(* Strip the separator between rule name and justification: spaces plus
+   any run of ASCII or typographic dashes (em/en dash UTF-8 bytes). *)
+let strip_separator s =
+  let sep c = c = ' ' || c = '\t' || c = '-' || c = '\xe2' || c = '\x80'
+              || c = '\x93' || c = '\x94' in
+  let k = ref 0 in
+  while !k < String.length s && sep s.[!k] do
+    incr k
+  done;
+  drop_prefix s !k
+
+let parse_pragma (c : comment) =
+  let t = String.trim c.text in
+  if not (starts_with ~prefix:"lint:" t) then None
+  else
+    let rest = String.trim (drop_prefix t 5) in
+    if not (starts_with ~prefix:"allow" rest) then
+      Some
+        {
+          p_rule = "";
+          p_known = false;
+          p_justified = false;
+          p_sline = c.sline;
+          p_eline = c.eline;
+        }
+    else
+      let rest = String.trim (drop_prefix rest 5) in
+      let rule, tail =
+        match String.index_opt rest ' ' with
+        | None -> (rest, "")
+        | Some k -> (String.sub rest 0 k, drop_prefix rest k)
+      in
+      Some
+        {
+          p_rule = rule;
+          p_known = List.mem rule rule_ids;
+          p_justified = String.trim (strip_separator tail) <> "";
+          p_sline = c.sline;
+          p_eline = c.eline;
+        }
+
+(* ---- AST rules ----------------------------------------------------------- *)
+
+let root_module lid =
+  let rec go = function
+    | Longident.Lident s -> s
+    | Longident.Ldot (l, _) -> go l
+    | Longident.Lapply (l, _) -> go l
+  in
+  go lid
+
+let ident_string lid =
+  match Longident.flatten lid with
+  | parts -> String.concat "." parts
+  | exception _ -> root_module lid
+
+(* A pattern that matches every exception: bare [_], possibly behind
+   aliases, constraints or or-pattern arms. *)
+let rec pattern_is_catchall (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_any -> true
+  | Parsetree.Ppat_alias (q, _) | Parsetree.Ppat_constraint (q, _) ->
+      pattern_is_catchall q
+  | Parsetree.Ppat_or (a, b) -> pattern_is_catchall a || pattern_is_catchall b
+  | _ -> false
+
+let rule_of_ident lid =
+  match lid with
+  | Longident.Ldot (Longident.Lident "Hashtbl", ("iter" | "fold")) ->
+      Some
+        ( "no-hash-order",
+          "visits bindings in hash-bucket order, which leaks into \
+           float-summation / list / scheduling order; use Det_tbl (sorted \
+           by key)" )
+  | Longident.Ldot (Longident.Lident "Unix", "gettimeofday")
+  | Longident.Ldot (Longident.Lident "Sys", "time") ->
+      Some
+        ( "no-wallclock",
+          "wall-clock reads differ across runs; simulation logic must use \
+           Engine.now" )
+  | Longident.Ldot (Longident.Lident "Obj", "magic") ->
+      Some
+        ( "no-obj-magic",
+          "defeats the type system; only the documented Eheap dummy slot \
+           may use it" )
+  | _ -> (
+      match root_module lid with
+      | "Random" ->
+          Some
+            ( "no-unseeded-random",
+              "draws from the global, unseeded generator; route randomness \
+               through Rng so every stream is seeded and splittable" )
+      | "Marshal" ->
+          Some
+            ( "no-marshal",
+              "unversioned binary blobs break cache compatibility silently; \
+               route persistence through Result_codec" )
+      | _ -> None)
+
+let collect_ast_findings ~file ast =
+  let acc = ref [] in
+  let report rule loc detail =
+    if not (file_allowed ~file rule) then begin
+      let pos = loc.Location.loc_start in
+      acc :=
+        {
+          rule;
+          file;
+          line = pos.Lexing.pos_lnum;
+          col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+          message = detail;
+        }
+        :: !acc
+    end
+  in
+  let check_ident lid loc =
+    match rule_of_ident lid with
+    | Some (rule, why) ->
+        report rule loc (Printf.sprintf "`%s` %s" (ident_string lid) why)
+    | None -> ()
+  in
+  let catchall loc =
+    "catch-all handler silently swallows Out_of_memory / Stack_overflow / \
+     Assert_failure; match the exceptions the body can actually raise"
+  |> report "no-silent-catchall" loc
+  in
+  let expr (sub : Ast_iterator.iterator) (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; loc } -> check_ident txt loc
+    | Parsetree.Pexp_try (_, cases) ->
+        List.iter
+          (fun (c : Parsetree.case) ->
+            if pattern_is_catchall c.Parsetree.pc_lhs then
+              catchall c.Parsetree.pc_lhs.Parsetree.ppat_loc)
+          cases
+    | Parsetree.Pexp_match (_, cases) ->
+        List.iter
+          (fun (c : Parsetree.case) ->
+            match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+            | Parsetree.Ppat_exception p when pattern_is_catchall p ->
+                catchall p.Parsetree.ppat_loc
+            | _ -> ())
+          cases
+    | _ -> ());
+    Ast_iterator.default_iterator.expr sub e
+  in
+  (* [open Random] / [module R = Random] would otherwise hide every use
+     from the ident check. *)
+  let module_expr (sub : Ast_iterator.iterator) (m : Parsetree.module_expr) =
+    (match m.Parsetree.pmod_desc with
+    | Parsetree.Pmod_ident { txt; loc } -> (
+        match root_module txt with
+        | "Random" | "Marshal" -> check_ident txt loc
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.module_expr sub m
+  in
+  let open_description (sub : Ast_iterator.iterator)
+      (o : Parsetree.open_description) =
+    (match o.Parsetree.popen_expr.Location.txt with
+    | lid -> (
+        match root_module lid with
+        | "Random" | "Marshal" -> check_ident lid o.Parsetree.popen_loc
+        | _ -> ()));
+    Ast_iterator.default_iterator.open_description sub o
+  in
+  let it =
+    { Ast_iterator.default_iterator with expr; module_expr; open_description }
+  in
+  it.Ast_iterator.structure it ast;
+  !acc
+
+(* ---- entry points -------------------------------------------------------- *)
+
+let compare_findings a b =
+  compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule)
+
+let lint_source ~file src =
+  let comments = scan_comments src in
+  let pragmas = List.filter_map parse_pragma comments in
+  let bad_pragmas =
+    List.filter_map
+      (fun p ->
+        if p.p_known && p.p_justified then None
+        else
+          Some
+            {
+              rule = "bad-pragma";
+              file;
+              line = p.p_sline;
+              col = 0;
+              message =
+                (if not p.p_known then
+                   Printf.sprintf
+                     "unknown lint rule %S; expected one of: %s" p.p_rule
+                     (String.concat ", " rule_ids)
+                 else
+                   "pragma has no justification; write `(* lint: allow \
+                    <rule> — <reason> *)`");
+            })
+      pragmas
+  in
+  let suppressed (f : finding) =
+    List.exists
+      (fun p ->
+        p.p_known && p.p_justified && p.p_rule = f.rule && f.line >= p.p_sline
+        && f.line <= p.p_eline + 1)
+      pragmas
+  in
+  let ast_findings =
+    let lexbuf = Lexing.from_string src in
+    Location.init lexbuf file;
+    match Parse.implementation lexbuf with
+    | ast -> List.filter (fun f -> not (suppressed f)) (collect_ast_findings ~file ast)
+    | exception exn ->
+        let line =
+          match exn with
+          | Syntaxerr.Error err ->
+              (Syntaxerr.location_of_error err).Location.loc_start
+                .Lexing.pos_lnum
+          | _ -> 1
+        in
+        [
+          {
+            rule = "parse-error";
+            file;
+            line;
+            col = 0;
+            message = Printexc.to_string exn;
+          };
+        ]
+  in
+  List.sort compare_findings (bad_pragmas @ ast_findings)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path = lint_source ~file:path (read_file path)
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "_build" || (name <> "" && name.[0] = '.') then acc
+           else collect_ml acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let lint_paths paths =
+  List.fold_left collect_ml [] paths
+  |> List.sort_uniq compare
+  |> List.concat_map lint_file
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message

@@ -1,0 +1,48 @@
+(** Determinism-invariant static analyzer for the PASE simulator.
+
+    Parses OCaml sources with compiler-libs and enforces the rule set
+    documented in DESIGN.md ("Determinism invariants"):
+
+    - [no-unseeded-random]: [Random.*] outside [lib/sim/rng.ml]
+    - [no-wallclock]: [Unix.gettimeofday] / [Sys.time] outside
+      [lib/workload/parallel.ml]
+    - [no-hash-order]: [Hashtbl.iter] / [Hashtbl.fold] outside
+      [lib/sim/det_tbl.ml]
+    - [no-silent-catchall]: [try ... with _ ->] (or
+      [match ... with exception _ ->]) handlers
+    - [no-marshal]: [Marshal.*] outside [lib/workload/result_codec.ml]
+    - [no-obj-magic]: [Obj.magic] outside [lib/sim/eheap.ml]
+
+    A violation can be allowlisted per site with a pragma comment on the
+    same line or the line above:
+
+    {v (* lint: allow <rule> — <justification> *) v}
+
+    A pragma with an unknown rule name or an empty justification is itself
+    reported (rule id [bad-pragma]), as is a source file that fails to
+    parse ([parse-error]). *)
+
+type finding = {
+  rule : string;  (** rule id, e.g. ["no-hash-order"] *)
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+}
+
+(** The six enforced rule ids, in reporting order. *)
+val rule_ids : string list
+
+(** [lint_source ~file src] lints the source text [src], attributing
+    findings to [file]. [file] also selects per-file allowlists. *)
+val lint_source : file:string -> string -> finding list
+
+(** [lint_file path] reads and lints [path]. *)
+val lint_file : string -> finding list
+
+(** [lint_paths paths] lints every [.ml] file under each path (files are
+    taken as-is, directories walked recursively, skipping [_build] and
+    dot-directories), in sorted file order. *)
+val lint_paths : string list -> finding list
+
+val pp_finding : Format.formatter -> finding -> unit

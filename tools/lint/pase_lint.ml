@@ -1,0 +1,28 @@
+(* pase_lint — determinism-invariant static analyzer for the simulator.
+
+   Usage: pase_lint [PATH ...]        (default: lib bin bench)
+
+   Exits 1 if any unannotated violation of the rule set is found. See
+   DESIGN.md "Determinism invariants" for the rules and the pragma syntax. *)
+
+let () =
+  let paths =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "lib"; "bin"; "bench" ]
+    | ps -> ps
+  in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+  if missing <> [] then begin
+    Format.eprintf "pase_lint: no such path(s): %s@."
+      (String.concat ", " missing);
+    exit 2
+  end;
+  let findings = Lint_engine.lint_paths paths in
+  List.iter (fun f -> Format.printf "%a@." Lint_engine.pp_finding f) findings;
+  match findings with
+  | [] ->
+      Format.printf "pase_lint: clean (%s)@." (String.concat " " paths);
+      exit 0
+  | fs ->
+      Format.eprintf "pase_lint: %d violation(s)@." (List.length fs);
+      exit 1
