@@ -714,7 +714,7 @@ let micro () =
          arbitration_inputs)
   in
   let bench_arbitrator () =
-    let a = Arbitrator.create ~capacity_bps:10e9 in
+    let a = Arbitrator.create ~capacity_bps:10e9 () in
     for i = 0 to 99 do
       Arbitrator.upsert a ~flow:i
         ~criterion:(float_of_int (i * 37 mod 100))

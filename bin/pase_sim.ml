@@ -135,33 +135,178 @@ let json_arg =
   let doc = "Print the result as JSON instead of a table." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a packet-level event trace to $(docv). Tracing disables the \
+     result cache for this run (a cached result has no trace)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc = "Trace format: $(b,jsonl) (one JSON object per line) or $(b,text) \
+             (ns-2-style one-liners)." in
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("text", `Text) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let trace_filter_arg =
+  let doc =
+    "Comma-separated trace filters: $(b,flow=N), $(b,kind=NAME) (e.g. drop, \
+     enqueue, cwnd, arb-alloc), $(b,link=A-B). Repeating a key widens that \
+     filter; distinct keys intersect."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-filter" ] ~docv:"SPEC" ~doc)
+
+let profile_arg =
+  let doc =
+    "Enable engine profiling: per-schedule-site event counts, reported in \
+     the table / JSON output."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+(* Parse "flow=42,kind=drop,link=0-3" into per-dimension filter lists.
+   An empty list for a dimension means "no filter on it". *)
+let parse_trace_filter spec =
+  let kinds = ref [] and flows = ref [] and links = ref [] in
+  let err = ref None in
+  String.split_on_char ',' spec
+  |> List.iter (fun item ->
+         let item = String.trim item in
+         if item <> "" && !err = None then
+           match String.index_opt item '=' with
+           | None ->
+               err :=
+                 Some
+                   (Printf.sprintf "bad trace filter %S (want key=value)" item)
+           | Some i -> (
+               let key = String.sub item 0 i in
+               let value =
+                 String.sub item (i + 1) (String.length item - i - 1)
+               in
+               match key with
+               | "flow" -> (
+                   match int_of_string_opt value with
+                   | Some f -> flows := f :: !flows
+                   | None ->
+                       err := Some (Printf.sprintf "bad flow id %S" value))
+               | "kind" -> (
+                   match Trace.Kind.of_name value with
+                   | Some k -> kinds := k :: !kinds
+                   | None ->
+                       err :=
+                         Some
+                           (Printf.sprintf "unknown event kind %S (known: %s)"
+                              value
+                              (String.concat ", "
+                                 (List.map Trace.Kind.name Trace.Kind.all))))
+               | "link" -> (
+                   match String.split_on_char '-' value with
+                   | [ a; b ] -> (
+                       match (int_of_string_opt a, int_of_string_opt b) with
+                       | Some a, Some b -> links := (a, b) :: !links
+                       | _ ->
+                           err :=
+                             Some
+                               (Printf.sprintf "bad link %S (want A-B)" value))
+                   | _ ->
+                       err :=
+                         Some (Printf.sprintf "bad link %S (want A-B)" value))
+               | _ ->
+                   err :=
+                     Some
+                       (Printf.sprintf "unknown trace filter key %S" key)))
+  |> ignore;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      let opt = function [] -> None | l -> Some (List.rev l) in
+      Ok (opt !kinds, opt !flows, opt !links)
+
 let cache_dir ~no_cache =
   if no_cache then None else Parallel.default_cache_dir ()
 
+let profile_rows (r : Runner.result) =
+  List.map
+    (fun (label, n) -> [ Printf.sprintf "events[%s]" label; string_of_int n ])
+    r.Runner.sched_profile
+
 let run_cmd =
-  let action scenario protocol load flows seed no_cache json =
+  let action scenario protocol load flows seed no_cache json trace trace_format
+      trace_filter profile =
     match (find_scenario scenario, find_protocol protocol) with
     | Ok sc, Ok proto ->
         if load <= 0. || load > 1. then `Error (false, "load must be in (0,1]")
         else begin
-          let r =
-            match
-              Parallel.run_jobs ~jobs:1 ~cache_dir:(cache_dir ~no_cache)
-                [ (proto, sc ~num_flows:flows ~seed ~load) ]
-            with
-            | [ r ] -> r
-            | _ -> assert false
+          let filter =
+            match trace_filter with
+            | None -> Ok (None, None, None)
+            | Some spec -> parse_trace_filter spec
           in
-          if json then print_endline (Result_codec.to_json r)
-          else print_result r;
-          `Ok ()
+          match filter with
+          | Error e -> `Error (false, e)
+          | Ok (kinds, flows_f, links) ->
+              let trace_oc =
+                match trace with
+                | None -> None
+                | Some file ->
+                    let oc = open_out file in
+                    let sink =
+                      match trace_format with
+                      | `Jsonl -> Trace.jsonl_sink oc
+                      | `Text -> Trace.text_sink oc
+                    in
+                    Trace.attach sink;
+                    Trace.set_kind_filter kinds;
+                    Trace.set_flow_filter flows_f;
+                    Trace.set_link_filter links;
+                    Some (file, oc)
+              in
+              (* Tracing needs the simulation to actually execute, in this
+                 process: skip the cache entirely. *)
+              let no_cache = no_cache || trace_oc <> None in
+              let r =
+                match
+                  Parallel.run_jobs ~jobs:1 ~cache_dir:(cache_dir ~no_cache)
+                    ~profile
+                    [ (proto, sc ~num_flows:flows ~seed ~load) ]
+                with
+                | [ r ] -> r
+                | _ -> assert false
+              in
+              let trace_summary =
+                match trace_oc with
+                | None -> []
+                | Some (file, oc) ->
+                    let emitted = Trace.emitted () in
+                    Trace.reset ();
+                    close_out oc;
+                    [
+                      ("trace_file", Printf.sprintf "%S" file);
+                      ("trace_events", string_of_int emitted);
+                    ]
+              in
+              if json then
+                print_endline (Result_codec.to_json ~extra:trace_summary r)
+              else begin
+                print_result r;
+                List.iter
+                  (fun row -> print_endline (String.concat "  " row))
+                  (profile_rows r);
+                List.iter
+                  (fun (k, v) -> Printf.printf "%s  %s\n" k v)
+                  trace_summary
+              end;
+              `Ok ()
         end
     | Error e, _ | _, Error e -> `Error (false, e)
   in
   let term =
     Term.(
       ret (const action $ scenario_arg $ protocol_arg $ load_arg $ flows_arg
-          $ seed_arg $ no_cache_arg $ json_arg))
+          $ seed_arg $ no_cache_arg $ json_arg $ trace_arg $ trace_format_arg
+          $ trace_filter_arg $ profile_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol on one scenario") term
 

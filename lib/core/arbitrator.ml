@@ -9,15 +9,19 @@ type t = {
   entries : (int, entry) Hashtbl.t;
   results : (int, int * float) Hashtbl.t;
   mutable top_counts : int array;  (* per-queue flow counts from last pass *)
+  link : int * int;  (* the (real or virtual) link arbitrated, for tracing *)
+  owner : int;  (* node id of the arbitrating delegate, -1 if anonymous *)
 }
 
-let create ~capacity_bps =
+let create ?(link = (-1, -1)) ?(owner = -1) ~capacity_bps () =
   if capacity_bps <= 0. then invalid_arg "Arbitrator.create: capacity";
   {
     capacity_bps;
     entries = Hashtbl.create 64;
     results = Hashtbl.create 64;
     top_counts = [||];
+    link;
+    owner;
   }
 
 let capacity_bps t = t.capacity_bps
@@ -65,9 +69,28 @@ let arbitrate t ~num_queues ~base_rate_bps =
     (fun o ->
       Hashtbl.replace t.results o.Arbitration.out_flow
         (o.Arbitration.queue, o.Arbitration.rref_bps);
-      counts.(o.Arbitration.queue) <- counts.(o.Arbitration.queue) + 1)
+      counts.(o.Arbitration.queue) <- counts.(o.Arbitration.queue) + 1;
+      if Trace.on () then
+        Trace.emit
+          (Trace.Arb_alloc
+             {
+               link = t.link;
+               delegate = t.owner;
+               flow = o.Arbitration.out_flow;
+               queue = o.Arbitration.queue;
+               rref_bps = o.Arbitration.rref_bps;
+             }))
     outs;
-  t.top_counts <- counts
+  t.top_counts <- counts;
+  if Trace.on () then
+    Trace.emit
+      (Trace.Arb
+         {
+           link = t.link;
+           delegate = t.owner;
+           flows = Hashtbl.length t.entries;
+           top_flows = (if num_queues > 0 then counts.(0) else 0);
+         })
 
 let cached t ~flow = Hashtbl.find_opt t.results flow
 

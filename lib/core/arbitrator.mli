@@ -4,7 +4,10 @@
 
 type t
 
-val create : capacity_bps:float -> t
+val create : ?link:int * int -> ?owner:int -> capacity_bps:float -> unit -> t
+(** [link] names the (real or virtual) link being arbitrated and [owner]
+    the arbitrating delegate's node id; both only feed trace events
+    ([(-1, -1)] / [-1] when unknown). *)
 
 (** Current capacity (changes for delegated virtual links). *)
 val capacity_bps : t -> float

@@ -77,7 +77,10 @@ let real_arb t a b =
         | Some l -> l
         | None -> invalid_arg "Hierarchy: no such link"
       in
-      let arb = Arbitrator.create ~capacity_bps:(Link.rate_bps link) in
+      let arb =
+        Arbitrator.create ~link:(a, b) ~owner:a
+          ~capacity_bps:(Link.rate_bps link) ()
+      in
       Hashtbl.replace t.real (a, b) arb;
       arb
 
@@ -104,10 +107,11 @@ let virtual_arb t (a, b) tor =
       in
       let members = 1 + List.length !group in
       let arb =
-        Arbitrator.create
+        Arbitrator.create ~link:(a, b) ~owner:tor
           ~capacity_bps:
             (Float.min (Link.rate_bps link)
                (Link.rate_bps link /. float_of_int members *. overbook))
+          ()
       in
       Hashtbl.replace t.virtuals (a, b, tor) arb;
       group := (tor, arb) :: !group;
@@ -131,7 +135,7 @@ let rebalance t =
       let members = float_of_int (List.length !group) in
       if total > 0. then
         List.iter2
-          (fun (_, arb) w ->
+          (fun (tor, arb) w ->
             (* Virtual links overbook: reference rates are not binding and
                the self-adjusting endpoints absorb transient over-admission
                (§2.2), so a burst at one child need not wait for the next
@@ -140,7 +144,11 @@ let rebalance t =
                starved by a heavy sibling. *)
             let frac = Float.max (1. /. members) (w /. total) in
             let share = Link.rate_bps link *. frac *. overbook in
-            Arbitrator.set_capacity arb (Float.min (Link.rate_bps link) share);
+            let share = Float.min (Link.rate_bps link) share in
+            Arbitrator.set_capacity arb share;
+            if Trace.on () then
+              Trace.emit
+                (Trace.Delegate { parent = (a, b); tor; share_bps = share });
             (* Aggregate report from child to parent and response. *)
             t.counters.Counters.ctrl_msgs <- t.counters.Counters.ctrl_msgs + 2)
           !group weights)
@@ -264,6 +272,9 @@ let round t =
           else begin
             t.counters.Counters.ctrl_msgs <-
               t.counters.Counters.ctrl_msgs + ct.msgs;
+            if ct.msgs > 0 && Trace.on () then
+              Trace.emit
+                (Trace.Ctrl { flow = fs.flow.Flow.id; msgs = ct.msgs });
             (* Failure injection: a lost request or response simply means
                this contact contributes nothing this round; the soft state
                it previously established survives until expiry. *)
@@ -333,7 +344,7 @@ let round t =
       in
       let schedule_apply ~delay ~queue ~rref ~final =
         let rref = if rref = infinity then t.base_rate_bps else rref in
-        Engine.schedule t.engine ~delay (fun () ->
+        Engine.schedule ~label:"arb-apply" t.engine ~delay (fun () ->
             match Hashtbl.find_opt t.flows flow_id with
             | Some fs ->
                 if final then fs.last_queue <- queue;
@@ -381,8 +392,8 @@ let rec tick t ~next_rebalance =
       end
       else next_rebalance
     in
-    Engine.schedule t.engine ~delay:t.cfg.Config.arb_period (fun () ->
-        tick t ~next_rebalance)
+    Engine.schedule ~label:"arb-round" t.engine ~delay:t.cfg.Config.arb_period
+      (fun () -> tick t ~next_rebalance)
   end
 
 let start t =

@@ -49,6 +49,14 @@ let apply_window_policy t =
 let really_apply t (q, rref) =
   t.queue <- q;
   t.rref_bps <- rref;
+  if Trace.on () then
+    Trace.emit
+      (Trace.Queue_assign
+         {
+           flow = (Sender_base.flow t.sender).Flow.id;
+           queue = q;
+           rref_bps = rref;
+         });
   apply_window_policy t;
   Sender_base.try_send t.sender
 

@@ -1,4 +1,4 @@
-type event = { fn : unit -> unit; mutable live : bool }
+type event = { fn : unit -> unit; mutable live : bool; ctr : int ref option }
 
 type t = {
   heap : event Eheap.t;
@@ -6,37 +6,96 @@ type t = {
   mutable seq : int;
   mutable processed : int;
   mutable stopped : bool;
+  mutable profiling : bool;
+  site_counts : (string, int ref) Hashtbl.t;
+  mutable peak_heap : int;
+  mutable wall_s : float;
 }
 
 type cancel = unit -> unit
 
+type profile = {
+  executed : int;
+  peak_heap : int;
+  wall_s : float;
+  sites : (string * int) list;
+}
+
 let create () =
-  { heap = Eheap.create (); time = 0.; seq = 0; processed = 0; stopped = false }
+  {
+    heap = Eheap.create ();
+    time = 0.;
+    seq = 0;
+    processed = 0;
+    stopped = false;
+    profiling = false;
+    site_counts = Hashtbl.create 16;
+    peak_heap = 0;
+    wall_s = 0.;
+  }
 
 let now t = t.time
+let set_profiling t flag = t.profiling <- flag
 
-let schedule_at t ~time fn =
+let profile t =
+  {
+    executed = t.processed;
+    peak_heap = t.peak_heap;
+    wall_s = t.wall_s;
+    sites =
+      Det_tbl.fold (fun label c acc -> (label, !c) :: acc) t.site_counts []
+      |> List.rev;
+  }
+
+(* Profiling resolves the label to its counter at schedule time; execution
+   then pays a single [incr]. Label strings are only consulted when
+   profiling is on, so the default path allocates nothing extra. *)
+let site_ctr t label =
+  if not t.profiling then None
+  else
+    match label with
+    | None -> None
+    | Some l -> (
+        match Hashtbl.find_opt t.site_counts l with
+        | Some c -> Some c
+        | None ->
+            let c = ref 0 in
+            Hashtbl.replace t.site_counts l c;
+            Some c)
+
+let note_depth t =
+  let d = Eheap.size t.heap in
+  if d > t.peak_heap then t.peak_heap <- d
+
+let schedule_at ?label t ~time fn =
   if time < t.time then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time
          t.time);
-  let e = { fn; live = true } in
+  let e = { fn; live = true; ctr = site_ctr t label } in
   Eheap.add t.heap ~time ~seq:t.seq e;
-  t.seq <- t.seq + 1
+  t.seq <- t.seq + 1;
+  note_depth t
 
-let schedule t ~delay fn =
+let schedule ?label t ~delay fn =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.time +. delay) fn
+  schedule_at ?label t ~time:(t.time +. delay) fn
 
-let schedule_cancellable t ~delay fn =
+let schedule_cancellable ?label t ~delay fn =
   if delay < 0. then invalid_arg "Engine.schedule_cancellable: negative delay";
-  let e = { fn; live = true } in
+  let e = { fn; live = true; ctr = site_ctr t label } in
   Eheap.add t.heap ~time:(t.time +. delay) ~seq:t.seq e;
   t.seq <- t.seq + 1;
+  note_depth t;
   fun () -> e.live <- false
 
 let run ?until ?max_events t =
   t.stopped <- false;
+  let wall_start =
+    (* lint: allow no-wallclock — profiling only; never feeds back into the
+       simulation or its results. *)
+    if t.profiling then Sys.time () else 0.
+  in
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
   let continue = ref true in
   let exhausted = ref false in
@@ -58,11 +117,16 @@ let run ?until ?max_events t =
             if e.live then begin
               t.time <- time;
               t.processed <- t.processed + 1;
+              (match e.ctr with Some c -> incr c | None -> ());
               e.fn ();
               decr budget;
               if !budget <= 0 then continue := false
             end)
   done;
+  if t.profiling then
+    (* lint: allow no-wallclock — profiling only; never feeds back into the
+       simulation or its results. *)
+    t.wall_s <- t.wall_s +. (Sys.time () -. wall_start);
   (* A run that reached its horizon (rather than being stopped or running out
      of event budget) has simulated the whole [0, until] window: advance the
      clock so [now] reports the horizon, not the last event time. *)

@@ -17,14 +17,16 @@ val create : unit -> t
 val now : t -> float
 
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
-    non-negative. *)
-val schedule : t -> delay:float -> (unit -> unit) -> unit
+    non-negative. [label] names the schedule site for {!profile}; it is
+    ignored (and costs nothing) unless profiling is on. *)
+val schedule : ?label:string -> t -> delay:float -> (unit -> unit) -> unit
 
 (** [schedule_at t ~time f] runs [f] at absolute [time >= now t]. *)
-val schedule_at : t -> time:float -> (unit -> unit) -> unit
+val schedule_at : ?label:string -> t -> time:float -> (unit -> unit) -> unit
 
 (** Like [schedule], returning a cancellation handle. *)
-val schedule_cancellable : t -> delay:float -> (unit -> unit) -> cancel
+val schedule_cancellable :
+  ?label:string -> t -> delay:float -> (unit -> unit) -> cancel
 
 (** [run ?until ?max_events t] processes events in order. Stops when the
     queue is empty, when virtual time would exceed [until], or after
@@ -43,3 +45,22 @@ val events_processed : t -> int
 
 (** Number of events currently pending (including cancelled-but-unreaped). *)
 val pending : t -> int
+
+(** {1 Profiling}
+
+    Off by default. When enabled, [schedule*] calls carrying a [?label]
+    count executions per site, the peak heap depth is tracked, and [run]
+    accumulates CPU time. Site counts and peak depth are deterministic;
+    [wall_s] is the only nondeterministic field and must never be folded
+    into simulation results that are compared byte-for-byte. *)
+
+type profile = {
+  executed : int;  (** same as [events_processed] *)
+  peak_heap : int;  (** max heap size observed at any schedule *)
+  wall_s : float;  (** CPU seconds spent inside [run] (profiling runs only) *)
+  sites : (string * int) list;
+      (** executions per schedule-site label, sorted by label *)
+}
+
+val set_profiling : t -> bool -> unit
+val profile : t -> profile

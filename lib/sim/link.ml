@@ -19,11 +19,16 @@ let rec transmit_next t =
   | Some pkt ->
       t.busy <- true;
       let tx_time = float_of_int (8 * pkt.Packet.size) /. t.rate_bps in
-      Engine.schedule t.engine ~delay:tx_time (fun () ->
+      Engine.schedule ~label:"link-tx" t.engine ~delay:tx_time (fun () ->
           t.bytes_txed <- t.bytes_txed + pkt.Packet.size;
+          (if Trace.on () then
+             let l = t.qdisc.Queue_disc.loc in
+             Trace.emit
+               (Trace.Tx { pkt; link = (l.Trace.from_node, l.Trace.to_node) }));
           (* Propagation: the head bit pipeline is folded into arrival time;
              the transmitter is free as soon as the last bit leaves. *)
-          Engine.schedule t.engine ~delay:t.delay_s (fun () -> t.deliver pkt);
+          Engine.schedule ~label:"link-prop" t.engine ~delay:t.delay_s
+            (fun () -> t.deliver pkt);
           transmit_next t)
 
 let send t pkt =

@@ -15,6 +15,7 @@ type t = {
 }
 
 let create engine counters =
+  Trace.set_clock (fun () -> Engine.now engine);
   {
     engine;
     counters;
@@ -71,15 +72,20 @@ let pick_next_hop t ~flow node dst =
 let rec deliver t pkt node =
   if node = pkt.Packet.dst then begin
     t.counters.Counters.delivered_pkts <- t.counters.Counters.delivered_pkts + 1;
+    if Trace.on () then Trace.emit (Trace.Rx { pkt; node });
     match Hashtbl.find_opt t.handlers (node, pkt.Packet.flow) with
     | Some f -> f pkt
-    | None -> t.counters.Counters.stray_pkts <- t.counters.Counters.stray_pkts + 1
+    | None ->
+        t.counters.Counters.stray_pkts <- t.counters.Counters.stray_pkts + 1;
+        if Trace.on () then Trace.emit (Trace.Stray { pkt; node })
   end
   else forward t pkt node
 
 and forward t pkt node =
   match pick_next_hop t ~flow:pkt.Packet.flow node pkt.Packet.dst with
-  | None -> t.counters.Counters.stray_pkts <- t.counters.Counters.stray_pkts + 1
+  | None ->
+      t.counters.Counters.stray_pkts <- t.counters.Counters.stray_pkts + 1;
+      if Trace.on () then Trace.emit (Trace.Stray { pkt; node })
   | Some nh -> (
       match Hashtbl.find_opt t.directed (node, nh) with
       | Some link -> Link.send link pkt
@@ -88,9 +94,12 @@ and forward t pkt node =
 let connect t a b ~rate_bps ~delay_s ~qdisc =
   if t.finalized then invalid_arg "Net: cannot connect after finalize";
   let mk from to_ =
+    let disc = qdisc () in
+    disc.Queue_disc.loc.Trace.from_node <- from;
+    disc.Queue_disc.loc.Trace.to_node <- to_;
     let link =
-      Link.create t.engine ~qdisc:(qdisc ()) ~rate_bps ~delay_s
-        ~deliver:(fun pkt -> deliver t pkt to_)
+      Link.create t.engine ~qdisc:disc ~rate_bps ~delay_s ~deliver:(fun pkt ->
+          deliver t pkt to_)
     in
     Hashtbl.replace t.directed (from, to_) link;
     let adj = Hashtbl.find t.adjacency from in

@@ -58,4 +58,7 @@ val make :
   unit ->
   t
 
+val kind_str : kind -> string
+(** Short lowercase name ("data", "ack", ...), used by trace sinks. *)
+
 val pp : Format.formatter -> t -> unit

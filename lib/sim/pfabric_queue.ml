@@ -19,9 +19,21 @@ let buf_remove b i =
 
 let buf_get b i = match b.items.(i) with Some p -> p | None -> assert false
 
+(* Telemetry tiers for the continuous [prio] value (remaining flow size in
+   segments): tier = min 7 (floor (log2 (1 + prio))), i.e. tier 0 holds
+   prio < 1 (last segment in flight), tier k holds 2^k - 1 <= prio < 2^(k+1)
+   - 1, tier 7 everything >= 127 segments remaining. *)
+let tiers = 8
+
+let tier_of prio =
+  let p = Float.max 0. prio in
+  let t = int_of_float (Float.log2 (1. +. p)) in
+  if t < 0 then 0 else if t >= tiers then tiers - 1 else t
+
 let create counters ~limit_pkts =
   let b = buf_create limit_pkts in
   let bytes = ref 0 in
+  let loc = Trace.unattached_loc () in
   (* Index of the buffered packet with the worst (largest) priority value;
      ties broken toward later seq so we evict the youngest of the worst
      flow's packets first. *)
@@ -47,17 +59,17 @@ let create counters ~limit_pkts =
         let victim = buf_get b w in
         buf_remove b w;
         bytes := !bytes - victim.Packet.size;
-        Queue_disc.count_drop counters victim;
+        Queue_disc.count_drop loc counters ~qpkts:b.len victim;
         buf_add b pkt;
         bytes := !bytes + pkt.Packet.size;
-        Queue_disc.count_enqueue counters pkt
+        Queue_disc.count_enqueue loc counters ~qpkts:b.len pkt
       end
-      else Queue_disc.count_drop counters pkt
+      else Queue_disc.count_drop loc counters ~qpkts:b.len pkt
     end
     else begin
       buf_add b pkt;
       bytes := !bytes + pkt.Packet.size;
-      Queue_disc.count_enqueue counters pkt
+      Queue_disc.count_enqueue loc counters ~qpkts:b.len pkt
     end
   in
   let dequeue () =
@@ -83,13 +95,25 @@ let create counters ~limit_pkts =
       let pkt = buf_get b !pick in
       buf_remove b !pick;
       bytes := !bytes - pkt.Packet.size;
-      Queue_disc.count_dequeue counters pkt;
+      Queue_disc.count_dequeue loc counters ~qpkts:b.len pkt;
       Some pkt
     end
+  in
+  let band_occ () =
+    let occ = Array.make tiers (0, 0) in
+    for i = 0 to b.len - 1 do
+      let p = buf_get b i in
+      let t = tier_of p.Packet.prio in
+      let pk, by = occ.(t) in
+      occ.(t) <- (pk + 1, by + p.Packet.size)
+    done;
+    occ
   in
   {
     Queue_disc.enqueue;
     dequeue;
     pkts = (fun () -> b.len);
     bytes = (fun () -> !bytes);
+    bands = band_occ;
+    loc;
   }

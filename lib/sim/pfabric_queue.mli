@@ -12,3 +12,13 @@
     cheap. *)
 
 val create : Counters.t -> limit_pkts:int -> Queue_disc.t
+
+(** Telemetry tiers quantizing the continuous [prio] (remaining flow size in
+    segments) for the discipline's [bands] report: tier
+    [min (tiers-1) (floor (log2 (1 + prio)))], so tier 0 is the last
+    in-flight segment and tier [tiers-1] holds flows with >= 127 segments
+    remaining. *)
+
+val tiers : int
+
+val tier_of : float -> int

@@ -1,8 +1,10 @@
 let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
   if bands <= 0 then invalid_arg "Prio_queue.create: bands must be positive";
   let qs : Packet.t Queue.t array = Array.init bands (fun _ -> Queue.create ()) in
+  let band_bytes = Array.make bands 0 in
   let total = ref 0 in
   let bytes = ref 0 in
+  let loc = Trace.unattached_loc () in
   let band_of (pkt : Packet.t) =
     let b = pkt.Packet.tos in
     if b < 0 then 0 else if b >= bands then bands - 1 else b
@@ -26,7 +28,8 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
         | Some p ->
             total := !total - 1;
             bytes := !bytes - p.Packet.size;
-            Queue_disc.count_drop counters p
+            band_bytes.(i) <- band_bytes.(i) - p.Packet.size;
+            Queue_disc.count_drop loc counters ~qpkts:!total p
         | None -> assert false);
         true
       end
@@ -40,17 +43,15 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
       if !total < limit_pkts then true
       else push_out_below band
     in
-    if not admitted then Queue_disc.count_drop counters pkt
+    if not admitted then Queue_disc.count_drop loc counters ~qpkts:!total pkt
     else begin
       if pkt.Packet.ecn_capable && Queue.length qs.(band) >= mark_threshold
-      then begin
-        pkt.Packet.ecn_ce <- true;
-        counters.Counters.ecn_marked_pkts <- counters.Counters.ecn_marked_pkts + 1
-      end;
+      then Queue_disc.count_mark loc counters ~qpkts:!total pkt;
       Queue.push pkt qs.(band);
       total := !total + 1;
       bytes := !bytes + pkt.Packet.size;
-      Queue_disc.count_enqueue counters pkt
+      band_bytes.(band) <- band_bytes.(band) + pkt.Packet.size;
+      Queue_disc.count_enqueue loc counters ~qpkts:!total pkt
     end
   in
   let dequeue () =
@@ -61,11 +62,15 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
         | Some pkt ->
             total := !total - 1;
             bytes := !bytes - pkt.Packet.size;
-            Queue_disc.count_dequeue counters pkt;
+            band_bytes.(i) <- band_bytes.(i) - pkt.Packet.size;
+            Queue_disc.count_dequeue loc counters ~qpkts:!total pkt;
             Some pkt
         | None -> scan (i + 1)
     in
     scan 0
+  in
+  let band_occ () =
+    Array.init bands (fun i -> (Queue.length qs.(i), band_bytes.(i)))
   in
   let disc =
     {
@@ -73,6 +78,8 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
       dequeue;
       pkts = (fun () -> !total);
       bytes = (fun () -> !bytes);
+      bands = band_occ;
+      loc;
     }
   in
   (disc, fun i -> Queue.length qs.(i))

@@ -3,38 +3,54 @@ type t = {
   dequeue : unit -> Packet.t option;
   pkts : unit -> int;
   bytes : unit -> int;
+  bands : unit -> (int * int) array;
+  loc : Trace.loc;
 }
 
-let count_drop (c : Counters.t) (pkt : Packet.t) =
+let link_of (loc : Trace.loc) = (loc.Trace.from_node, loc.Trace.to_node)
+
+let count_drop (loc : Trace.loc) (c : Counters.t) ~qpkts (pkt : Packet.t) =
   c.dropped_pkts <- c.dropped_pkts + 1;
   c.dropped_bytes <- c.dropped_bytes + pkt.size;
-  match pkt.kind with
+  (match pkt.kind with
   | Packet.Data -> c.dropped_data_pkts <- c.dropped_data_pkts + 1
-  | Packet.Ack | Packet.Probe | Packet.Probe_ack | Packet.Ctrl -> ()
+  | Packet.Ack | Packet.Probe | Packet.Probe_ack | Packet.Ctrl -> ());
+  if Trace.on () then Trace.emit (Trace.Drop { pkt; link = link_of loc; qpkts })
 
-let count_enqueue (c : Counters.t) (pkt : Packet.t) =
+let count_enqueue (loc : Trace.loc) (c : Counters.t) ~qpkts (pkt : Packet.t) =
   c.enqueued_pkts <- c.enqueued_pkts + 1;
-  c.enqueued_bytes <- c.enqueued_bytes + pkt.size
+  c.enqueued_bytes <- c.enqueued_bytes + pkt.size;
+  if Trace.on () then
+    Trace.emit (Trace.Enqueue { pkt; link = link_of loc; qpkts })
 
-let count_dequeue (c : Counters.t) (pkt : Packet.t) =
+let count_dequeue (loc : Trace.loc) (c : Counters.t) ~qpkts (pkt : Packet.t) =
   c.dequeued_pkts <- c.dequeued_pkts + 1;
-  c.dequeued_bytes <- c.dequeued_bytes + pkt.size
+  c.dequeued_bytes <- c.dequeued_bytes + pkt.size;
+  if Trace.on () then
+    Trace.emit (Trace.Dequeue { pkt; link = link_of loc; qpkts })
+
+let count_mark (loc : Trace.loc) (c : Counters.t) ~qpkts (pkt : Packet.t) =
+  pkt.Packet.ecn_ce <- true;
+  c.Counters.ecn_marked_pkts <- c.Counters.ecn_marked_pkts + 1;
+  if Trace.on () then Trace.emit (Trace.Mark { pkt; link = link_of loc; qpkts })
+
+let no_bands () = [||]
 
 let fifo counters ~limit_pkts ~mark_threshold =
   let q : Packet.t Queue.t = Queue.create () in
   let bytes = ref 0 in
+  let loc = Trace.unattached_loc () in
   let enqueue pkt =
-    if Queue.length q >= limit_pkts then count_drop counters pkt
+    if Queue.length q >= limit_pkts then
+      count_drop loc counters ~qpkts:(Queue.length q) pkt
     else begin
       (match mark_threshold with
       | Some k when pkt.Packet.ecn_capable && Queue.length q >= k ->
-          pkt.Packet.ecn_ce <- true;
-          counters.Counters.ecn_marked_pkts <-
-            counters.Counters.ecn_marked_pkts + 1
+          count_mark loc counters ~qpkts:(Queue.length q) pkt
       | _ -> ());
       Queue.push pkt q;
       bytes := !bytes + pkt.Packet.size;
-      count_enqueue counters pkt
+      count_enqueue loc counters ~qpkts:(Queue.length q) pkt
     end
   in
   let dequeue () =
@@ -42,10 +58,17 @@ let fifo counters ~limit_pkts ~mark_threshold =
     | None -> None
     | Some pkt ->
         bytes := !bytes - pkt.Packet.size;
-        count_dequeue counters pkt;
+        count_dequeue loc counters ~qpkts:(Queue.length q) pkt;
         Some pkt
   in
-  { enqueue; dequeue; pkts = (fun () -> Queue.length q); bytes = (fun () -> !bytes) }
+  {
+    enqueue;
+    dequeue;
+    pkts = (fun () -> Queue.length q);
+    bytes = (fun () -> !bytes);
+    bands = no_bands;
+    loc;
+  }
 
 let droptail counters ~limit_pkts = fifo counters ~limit_pkts ~mark_threshold:None
 

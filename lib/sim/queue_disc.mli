@@ -2,13 +2,20 @@
 
     A discipline owns admission (it may drop on [enqueue]) and scheduling
     (the order [dequeue] returns packets). Drops and ECN marks are recorded
-    in the supplied {!Counters.t}. *)
+    in the supplied {!Counters.t} and, when tracing is live, emitted on the
+    {!Trace} bus tagged with the discipline's {!loc}. *)
 
 type t = {
   enqueue : Packet.t -> unit;
   dequeue : unit -> Packet.t option;
   pkts : unit -> int;  (** packets currently queued *)
   bytes : unit -> int;  (** bytes currently queued *)
+  bands : unit -> (int * int) array;
+      (** per-band (pkts, bytes) occupancy for banded disciplines
+          (priority queues); [[||]] for unbanded ones *)
+  loc : Trace.loc;
+      (** the directed link this discipline drains; [Net.connect] fills it
+          in so trace events carry the link identity *)
 }
 
 (** [droptail counters ~limit_pkts] is a FIFO that drops arrivals once
@@ -22,11 +29,16 @@ val droptail : Counters.t -> limit_pkts:int -> t
     Non-ECN-capable packets are dropped instead of marked only on overflow. *)
 val red_ecn : Counters.t -> limit_pkts:int -> mark_threshold:int -> t
 
-(** Record a drop of [pkt] in [counters]; exposed for other disciplines. *)
-val count_drop : Counters.t -> Packet.t -> unit
+(** Helpers for other disciplines. Each records the event in [counters] and
+    emits the corresponding trace event ([qpkts] is the queue depth at the
+    moment of the event). *)
 
-(** Record a successful enqueue of [pkt]. *)
-val count_enqueue : Counters.t -> Packet.t -> unit
+val count_drop : Trace.loc -> Counters.t -> qpkts:int -> Packet.t -> unit
+val count_enqueue : Trace.loc -> Counters.t -> qpkts:int -> Packet.t -> unit
+val count_dequeue : Trace.loc -> Counters.t -> qpkts:int -> Packet.t -> unit
 
-(** Record a dequeue of [pkt]. *)
-val count_dequeue : Counters.t -> Packet.t -> unit
+(** [count_mark loc c ~qpkts pkt] CE-marks [pkt], counts it, and traces it. *)
+val count_mark : Trace.loc -> Counters.t -> qpkts:int -> Packet.t -> unit
+
+(** Shared empty [bands] value for unbanded disciplines. *)
+val no_bands : unit -> (int * int) array

@@ -1,4 +1,10 @@
-type sample = { time : float; utilization : float; queue_pkts : int }
+type sample = {
+  time : float;
+  utilization : float;
+  queue_pkts : int;
+  queue_bytes : int;
+  bands : (int * int) array;
+}
 
 type tracked = {
   label : string;
@@ -27,15 +33,19 @@ let rec tick t =
           if capacity_bytes <= 0. then 0.
           else Float.min 1. (float_of_int delta /. capacity_bytes)
         in
+        let disc = Link.qdisc tr.link in
         tr.samples <-
           {
             time = now;
             utilization;
-            queue_pkts = (Link.qdisc tr.link).Queue_disc.pkts ();
+            queue_pkts = disc.Queue_disc.pkts ();
+            queue_bytes = disc.Queue_disc.bytes ();
+            bands = disc.Queue_disc.bands ();
           }
           :: tr.samples)
       t.tracked;
-    Engine.schedule t.engine ~delay:t.period (fun () -> tick t)
+    Engine.schedule ~label:"telemetry" t.engine ~delay:t.period (fun () ->
+        tick t)
   end
 
 let create engine ~period links =
@@ -47,7 +57,7 @@ let create engine ~period links =
       links
   in
   let t = { engine; period; tracked; running = true } in
-  Engine.schedule engine ~delay:period (fun () -> tick t);
+  Engine.schedule ~label:"telemetry" engine ~delay:period (fun () -> tick t);
   t
 
 let stop t = t.running <- false
@@ -66,5 +76,17 @@ let mean_utilization t label =
 
 let peak_queue t label =
   List.fold_left (fun acc s -> max acc s.queue_pkts) 0 (samples t label)
+
+let peak_queue_bytes t label =
+  List.fold_left (fun acc s -> max acc s.queue_bytes) 0 (samples t label)
+
+let peak_band t label band =
+  List.fold_left
+    (fun (pk, by) s ->
+      if band < Array.length s.bands then
+        let p, b = s.bands.(band) in
+        (max pk p, max by b)
+      else (pk, by))
+    (0, 0) (samples t label)
 
 let labels t = List.map (fun tr -> tr.label) t.tracked

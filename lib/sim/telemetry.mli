@@ -8,7 +8,11 @@
 type sample = {
   time : float;
   utilization : float;  (** fraction of capacity used since last sample *)
-  queue_pkts : int;  (** instantaneous queue occupancy *)
+  queue_pkts : int;  (** instantaneous queue occupancy, packets *)
+  queue_bytes : int;  (** instantaneous queue occupancy, bytes *)
+  bands : (int * int) array;
+      (** per-band (pkts, bytes) occupancy for banded disciplines
+          (priority/pFabric queues); [[||]] for unbanded FIFOs *)
 }
 
 type t
@@ -28,5 +32,12 @@ val mean_utilization : t -> string -> float
 
 (** Peak queue occupancy of a link over the recorded window (0 if none). *)
 val peak_queue : t -> string -> int
+
+(** Peak queue occupancy in bytes over the recorded window (0 if none). *)
+val peak_queue_bytes : t -> string -> int
+
+(** [peak_band t label i] is the peak (pkts, bytes) occupancy of band [i]
+    of a banded discipline over the window ((0, 0) if none or unbanded). *)
+val peak_band : t -> string -> int -> int * int
 
 val labels : t -> string list

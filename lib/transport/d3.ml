@@ -99,10 +99,14 @@ let refresh h =
         h.nic_bps h.routers
     in
     (* Rate returns in the header one one-way delay later. *)
-    Engine.schedule (Sender_base.engine h.sender) ~delay:(h.rtt /. 2.)
+    Engine.schedule ~label:"d3-apply"
+      (Sender_base.engine h.sender)
+      ~delay:(h.rtt /. 2.)
       (fun () ->
         if (not !(h.stopped)) && not (Sender_base.completed h.sender) then begin
           h.rate := alloc;
+          if Trace.on () then
+            Trace.emit (Trace.Rate { flow; rate_bps = alloc });
           Sender_base.try_send h.sender
         end)
   end
@@ -110,7 +114,10 @@ let refresh h =
 let rec tick h =
   if (not !(h.stopped)) && not (Sender_base.completed h.sender) then begin
     refresh h;
-    Engine.schedule (Sender_base.engine h.sender) ~delay:h.rtt (fun () -> tick h)
+    Engine.schedule ~label:"d3-tick"
+      (Sender_base.engine h.sender)
+      ~delay:h.rtt
+      (fun () -> tick h)
   end
 
 let create net ~flow ~routers ~rtt ?conf:(c = conf ()) ~on_complete () =

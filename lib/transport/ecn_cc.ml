@@ -24,6 +24,10 @@ let observe st t ~ecn ~weight =
       else float_of_int st.marked_in_window /. float_of_int st.acked_in_window
     in
     st.alpha <- ((1. -. gain) *. st.alpha) +. (gain *. f);
+    if Trace.on () then
+      Trace.emit
+        (Trace.Alpha
+           { flow = (Sender_base.flow t).Flow.id; alpha = st.alpha });
     st.acked_in_window <- 0;
     st.marked_in_window <- 0;
     st.window_end <- Sender_base.sent_new_pkts t

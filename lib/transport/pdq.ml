@@ -125,12 +125,14 @@ let refresh h =
     let delay =
       if !(h.rate) = 0. && alloc > 0. then 1.5 *. h.rtt else h.rtt /. 2.
     in
-    Engine.schedule
+    Engine.schedule ~label:"pdq-apply"
       (Sender_base.engine h.sender)
       ~delay
       (fun () ->
         if (not !(h.stopped)) && not (Sender_base.completed h.sender) then begin
           h.rate := alloc;
+          if Trace.on () then
+            Trace.emit (Trace.Rate { flow; rate_bps = alloc });
           Sender_base.try_send h.sender
         end)
   end
@@ -138,7 +140,10 @@ let refresh h =
 let rec tick h =
   if (not !(h.stopped)) && not (Sender_base.completed h.sender) then begin
     refresh h;
-    Engine.schedule (Sender_base.engine h.sender) ~delay:h.rtt (fun () -> tick h)
+    Engine.schedule ~label:"pdq-tick"
+      (Sender_base.engine h.sender)
+      ~delay:h.rtt
+      (fun () -> tick h)
   end
 
 let create net ~flow ~arbiters ~rtt ?conf:(c = conf ()) ~on_complete () =

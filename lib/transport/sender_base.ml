@@ -66,7 +66,13 @@ let flow t = t.flow
 let conf t = t.conf
 let set_hooks t h = t.hooks <- h
 let cwnd t = t.cwnd
-let set_cwnd t w = t.cwnd <- Float.min t.conf.max_cwnd (Float.max 1. w)
+
+let set_cwnd t w =
+  t.cwnd <- Float.min t.conf.max_cwnd (Float.max 1. w);
+  if Trace.on () then
+    Trace.emit
+      (Trace.Cwnd
+         { flow = t.flow.Flow.id; cwnd = t.cwnd; ssthresh = t.ssthresh })
 let ssthresh t = t.ssthresh
 let set_ssthresh t v = t.ssthresh <- Float.max 2. v
 let srtt t = t.srtt
@@ -97,7 +103,8 @@ let rec arm_timer t =
   if t.timer = None && not t.completed then
     t.timer <-
       Some
-        (Engine.schedule_cancellable t.engine ~delay:(rto_value t) (fun () ->
+        (Engine.schedule_cancellable ~label:"rto" t.engine ~delay:(rto_value t)
+           (fun () ->
              t.timer <- None;
              handle_timeout t))
 
@@ -109,6 +116,9 @@ and handle_timeout t =
   if t.completed then ()
   else begin
     t.consecutive_timeouts <- t.consecutive_timeouts + 1;
+    if Trace.on () then
+      Trace.emit
+        (Trace.Flow_timeout { flow = t.flow.Flow.id; backoff = t.backoff });
     (match t.hooks.on_timeout t with
     | `Handled -> ()
     | `Default -> default_timeout_action t);
@@ -178,7 +188,7 @@ and schedule_pace t _rate =
     let now = Engine.now t.engine in
     let at = Float.max now t.next_pace_at in
     t.pace_scheduled <- true;
-    Engine.schedule_at t.engine ~time:at (fun () ->
+    Engine.schedule_at ~label:"pace" t.engine ~time:at (fun () ->
         t.pace_scheduled <- false;
         if not t.completed then begin
           (match t.hooks.pacing_rate t with
@@ -222,7 +232,10 @@ let complete t =
     t.completed <- true;
     cancel_timer t;
     Net.unregister_flow t.net ~host:t.flow.Flow.src ~flow:t.flow.Flow.id;
-    t.on_complete t ~fct:(Engine.now t.engine -. t.flow.Flow.start_time)
+    let fct = Engine.now t.engine -. t.flow.Flow.start_time in
+    if Trace.on () then
+      Trace.emit (Trace.Flow_finish { flow = t.flow.Flow.id; fct });
+    t.on_complete t ~fct
   end
 
 let cancel t =
@@ -349,6 +362,16 @@ let create net ~flow ~conf ?(hooks = default_hooks) ~on_complete () =
   }
 
 let start t =
+  if Trace.on () then
+    Trace.emit
+      (Trace.Flow_start
+         {
+           flow = t.flow.Flow.id;
+           src = t.flow.Flow.src;
+           dst = t.flow.Flow.dst;
+           size_pkts = t.flow.Flow.size_pkts;
+           deadline = Flow.absolute_deadline t.flow;
+         });
   Net.register_flow t.net ~host:t.flow.Flow.src ~flow:t.flow.Flow.id (fun pkt ->
       match pkt.Packet.kind with
       | Packet.Ack | Packet.Probe_ack -> handle_ack_like t pkt

@@ -86,7 +86,7 @@ let scenario_key (s : Scenario.t) =
       Printf.sprintf "seed=%d" s.Scenario.seed;
     ]
 
-let job_key ?horizon proto scenario =
+let job_key ?horizon ?(profile = false) proto scenario =
   let descr =
     String.concat "\n"
       [
@@ -95,6 +95,8 @@ let job_key ?horizon proto scenario =
         protocol_key proto;
         scenario_key scenario;
         (match horizon with None -> "horizon=-" | Some h -> "horizon=" ^ fl h);
+        (* Profiled results embed sched_profile, so they cache separately. *)
+        Printf.sprintf "profile=%b" profile;
       ]
   in
   Digest.to_hex (Digest.string descr)
@@ -161,7 +163,7 @@ type worker = { pid : int; idx : int; buf : Buffer.t; started : float }
    worker simulates its configuration and streams the encoded result back
    over its pipe; the parent multiplexes reads with [select] so a worker
    never blocks on a full pipe buffer. *)
-let run_pool ~jobs ~horizon ~(arr : job array) pending ~on_done =
+let run_pool ~jobs ~horizon ~profile ~(arr : job array) pending ~on_done =
   let queue = ref pending in
   let active : (Unix.file_descr, worker) Hashtbl.t = Hashtbl.create jobs in
   let spawn idx =
@@ -175,7 +177,7 @@ let run_pool ~jobs ~horizon ~(arr : job array) pending ~on_done =
         let status =
           match
             let proto, scenario = arr.(idx) in
-            let r = Runner.run ?horizon proto scenario in
+            let r = Runner.run ~profile ?horizon proto scenario in
             write_all wr (Result_codec.encode r)
           with
           | () -> 0
@@ -258,7 +260,7 @@ let run_pool ~jobs ~horizon ~(arr : job array) pending ~on_done =
 
 (* ---- driver ------------------------------------------------------------- *)
 
-let run_jobs ?jobs ?cache_dir ?horizon
+let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false)
     ?(on_result = fun _ ~cached:_ ~wall:_ _ -> ()) pairs =
   let jobs =
     match jobs with Some j -> max 1 j | None -> max 1 (default_jobs ())
@@ -268,7 +270,7 @@ let run_jobs ?jobs ?cache_dir ?horizon
   in
   let arr = Array.of_list pairs in
   let n = Array.length arr in
-  let keys = Array.map (fun (p, s) -> job_key ?horizon p s) arr in
+  let keys = Array.map (fun (p, s) -> job_key ?horizon ~profile p s) arr in
   let results : Runner.result option array = Array.make n None in
   let settle i ~cached ~wall r =
     results.(i) <- Some r;
@@ -306,7 +308,7 @@ let run_jobs ?jobs ?cache_dir ?horizon
   | [ i ] ->
       let proto, scenario = arr.(i) in
       let t0 = Unix.gettimeofday () in
-      let r = Runner.run ?horizon proto scenario in
+      let r = Runner.run ~profile ?horizon proto scenario in
       publish i r (Unix.gettimeofday () -. t0)
   | pending_list ->
       if jobs = 1 then
@@ -314,10 +316,10 @@ let run_jobs ?jobs ?cache_dir ?horizon
           (fun i ->
             let proto, scenario = arr.(i) in
             let t0 = Unix.gettimeofday () in
-            let r = Runner.run ?horizon proto scenario in
+            let r = Runner.run ~profile ?horizon proto scenario in
             publish i r (Unix.gettimeofday () -. t0))
           pending_list
-      else run_pool ~jobs ~horizon ~arr pending_list ~on_done:publish);
+      else run_pool ~jobs ~horizon ~profile ~arr pending_list ~on_done:publish);
   (* 4. Fan shared results back out to duplicate configurations. *)
   Array.to_list
     (Array.mapi

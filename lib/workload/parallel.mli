@@ -25,7 +25,8 @@ val default_cache_dir : unit -> string option
     pattern and workload parameters, seed, horizon, codec version, and a
     digest of the running executable (so rebuilding the code invalidates the
     cache). *)
-val job_key : ?horizon:float -> Runner.protocol -> Scenario.t -> string
+val job_key :
+  ?horizon:float -> ?profile:bool -> Runner.protocol -> Scenario.t -> string
 
 (** [run_jobs jobs_list] executes every job and returns the results in input
     order.
@@ -35,6 +36,8 @@ val job_key : ?horizon:float -> Runner.protocol -> Scenario.t -> string
     - [cache_dir]: on-disk cache location; [None] disables the cache
       (default {!default_cache_dir}).
     - [horizon]: forwarded to {!Runner.run}.
+    - [profile]: forwarded to {!Runner.run}; profiled results cache under a
+      distinct key (their [sched_profile] differs).
     - [on_result i ~cached ~wall r] fires once per job as results become
       available (completion order under parallelism); [cached] tells whether
       the result was served from the cache, [wall] is the worker wall-clock
@@ -48,6 +51,7 @@ val run_jobs :
   ?jobs:int ->
   ?cache_dir:string option ->
   ?horizon:float ->
+  ?profile:bool ->
   ?on_result:(int -> cached:bool -> wall:float -> Runner.result -> unit) ->
   job list ->
   Runner.result list

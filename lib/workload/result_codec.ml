@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 let magic = "PASE-RES"
 let header_len = String.length magic + 4
 
@@ -57,11 +57,11 @@ let record_to_json (r : Fct.record) =
     (json_opt_float r.Fct.ideal)
     (json_opt_int r.Fct.task)
 
-let to_json ?(records = false) (r : Runner.result) =
+let to_json ?(records = false) ?(extra = []) (r : Runner.result) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf
-       {|{"version":%d,"scenario":"%s","protocol":"%s","load":%s,"afct":%s,"p99":%s,"app_throughput":%s,"loss_rate":%s,"ctrl_msgs":%d,"ctrl_msg_rate":%s,"duration":%s,"events":%d,"completed":%d,"censored":%d|}
+       {|{"version":%d,"scenario":"%s","protocol":"%s","load":%s,"afct":%s,"p99":%s,"app_throughput":%s,"loss_rate":%s,"ctrl_msgs":%d,"ctrl_msg_rate":%s,"duration":%s,"events":%d,"completed":%d,"censored":%d,"stray_pkts":%d,"peak_heap":%d|}
        version (json_escape r.Runner.scenario)
        (json_escape r.Runner.protocol)
        (json_float r.Runner.load) (json_float r.Runner.afct)
@@ -71,7 +71,24 @@ let to_json ?(records = false) (r : Runner.result) =
        r.Runner.ctrl_msgs
        (json_float r.Runner.ctrl_msg_rate)
        (json_float r.Runner.duration)
-       r.Runner.events r.Runner.completed r.Runner.censored);
+       r.Runner.events r.Runner.completed r.Runner.censored
+       r.Runner.stray_pkts r.Runner.peak_heap);
+  (match r.Runner.sched_profile with
+  | [] -> ()
+  | sites ->
+      Buffer.add_string buf ",\"sched_profile\":{";
+      List.iteri
+        (fun i (label, n) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf {|"%s":%d|} (json_escape label) n))
+        sites;
+      Buffer.add_char buf '}');
+  List.iter
+    (fun (key, value) ->
+      Buffer.add_string buf
+        (Printf.sprintf {|,"%s":%s|} (json_escape key) value))
+    extra;
   if records then begin
     Buffer.add_string buf ",\"flows\":[";
     List.iteri

@@ -19,7 +19,10 @@ val encode : Runner.result -> string
     foreign payload, or a version mismatch. *)
 val decode : string -> (Runner.result, string) result
 
-(** [to_json ?records r] renders the summary metrics as a JSON object
+(** [to_json ?records ?extra r] renders the summary metrics as a JSON object
     ([nan]/infinite floats become [null]). With [~records:true] the per-flow
-    FCT records are included under ["flows"]. *)
-val to_json : ?records:bool -> Runner.result -> string
+    FCT records are included under ["flows"]. [extra] appends caller-supplied
+    [(key, rendered-json-value)] pairs — the CLI uses it to fold trace
+    summaries into the output without polluting the cached result. *)
+val to_json :
+  ?records:bool -> ?extra:(string * string) list -> Runner.result -> string

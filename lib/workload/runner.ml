@@ -30,6 +30,9 @@ type result = {
   events : int;
   completed : int;
   censored : int;
+  stray_pkts : int;
+  peak_heap : int;
+  sched_profile : (string * int) list;
 }
 
 let mss = 1460
@@ -68,9 +71,10 @@ let qdisc_for protocol counters ~rtt =
           ~limit_pkts:cfg.Config.queue_limit_pkts
           ~mark_threshold:(mark_threshold_for rate_bps)
 
-let run ?horizon protocol scenario =
+let run ?(profile = false) ?horizon protocol scenario =
   Packet.reset_ids ();
   let engine = Engine.create () in
+  Engine.set_profiling engine profile;
   let counters = Counters.create () in
   let qdisc = qdisc_for protocol counters ~rtt:(Scenario.nominal_rtt scenario) in
   let plan = Scenario.build scenario engine counters ~qdisc in
@@ -228,7 +232,8 @@ let run ?horizon protocol scenario =
   in
   List.iter
     (fun spec ->
-      Engine.schedule_at engine ~time:spec.Scenario.start (fun () -> launch spec))
+      Engine.schedule_at ~label:"flow-launch" engine ~time:spec.Scenario.start
+        (fun () -> launch spec))
     plan.Scenario.specs;
   let last_arrival =
     List.fold_left (fun acc s -> Float.max acc s.Scenario.start) 0.
@@ -268,4 +273,7 @@ let run ?horizon protocol scenario =
     events = Engine.events_processed engine;
     completed = !completed;
     censored = Fct.censored_count fct;
+    stray_pkts = counters.Counters.stray_pkts;
+    peak_heap = (Engine.profile engine).Engine.peak_heap;
+    sched_profile = (Engine.profile engine).Engine.sites;
   }

@@ -30,9 +30,18 @@ type result = {
   events : int;
   completed : int;
   censored : int;
+  stray_pkts : int;
+      (** packets delivered with no registered handler or routed into a dead
+          end — nonzero means misrouted traffic, which should fail loudly *)
+  peak_heap : int;  (** peak engine event-heap depth over the run *)
+  sched_profile : (string * int) list;
+      (** executions per schedule-site label (see {!Engine.profile});
+          empty unless [run ~profile:true]. Deterministic, unlike wall
+          time, so it is safe inside the byte-compared result. *)
 }
 
-(** [run ?horizon protocol scenario] executes one simulation. The run ends
-    when every measured flow completes or at [horizon] (default: last
-    arrival + 5 s); unfinished measured flows are recorded as censored. *)
-val run : ?horizon:float -> protocol -> Scenario.t -> result
+(** [run ?profile ?horizon protocol scenario] executes one simulation. The
+    run ends when every measured flow completes or at [horizon] (default:
+    last arrival + 5 s); unfinished measured flows are recorded as censored.
+    [profile] (default false) enables per-site engine profiling. *)
+val run : ?profile:bool -> ?horizon:float -> protocol -> Scenario.t -> result

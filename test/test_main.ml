@@ -19,6 +19,7 @@ let () =
       ("properties", Test_properties.suite);
       ("fat-tree", Test_fat_tree.suite);
       ("telemetry", Test_telemetry.suite);
+      ("trace", Test_trace.suite);
       ("behaviours", Test_behaviours.suite);
       ("laws", Test_laws.suite);
     ]

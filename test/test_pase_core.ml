@@ -2,7 +2,7 @@
    pruning, delegation, message accounting), and the Pase_host transport. *)
 
 let test_arbitrator_upsert_remove () =
-  let a = Arbitrator.create ~capacity_bps:1e9 in
+  let a = Arbitrator.create ~capacity_bps:1e9 () in
   Arbitrator.upsert a ~flow:1 ~criterion:10. ~demand_bps:1e9 ~now:0.;
   Arbitrator.upsert a ~flow:2 ~criterion:5. ~demand_bps:1e9 ~now:0.;
   Alcotest.(check int) "two flows" 2 (Arbitrator.flows a);
@@ -13,7 +13,7 @@ let test_arbitrator_upsert_remove () =
   Alcotest.(check bool) "mem" true (Arbitrator.mem a ~flow:1)
 
 let test_arbitrator_arbitrate_cache () =
-  let a = Arbitrator.create ~capacity_bps:1e9 in
+  let a = Arbitrator.create ~capacity_bps:1e9 () in
   Arbitrator.upsert a ~flow:1 ~criterion:10. ~demand_bps:1e9 ~now:0.;
   Arbitrator.upsert a ~flow:2 ~criterion:20. ~demand_bps:1e9 ~now:0.;
   Arbitrator.arbitrate a ~num_queues:8 ~base_rate_bps:1e5;
@@ -29,7 +29,7 @@ let test_arbitrator_arbitrate_cache () =
   Alcotest.(check int) "two in top-2" 2 (Arbitrator.in_top_queues a ~k:2)
 
 let test_arbitrator_expiry () =
-  let a = Arbitrator.create ~capacity_bps:1e9 in
+  let a = Arbitrator.create ~capacity_bps:1e9 () in
   Arbitrator.upsert a ~flow:1 ~criterion:10. ~demand_bps:1e9 ~now:0.;
   Arbitrator.upsert a ~flow:2 ~criterion:20. ~demand_bps:1e9 ~now:5.;
   Arbitrator.expire a ~now:6. ~max_age:2.;
@@ -37,7 +37,7 @@ let test_arbitrator_expiry () =
   Alcotest.(check bool) "fresh flow kept" true (Arbitrator.mem a ~flow:2)
 
 let test_arbitrator_capacity_update () =
-  let a = Arbitrator.create ~capacity_bps:1e9 in
+  let a = Arbitrator.create ~capacity_bps:1e9 () in
   Arbitrator.set_capacity a 2e9;
   Alcotest.(check (float 1.)) "capacity updated" 2e9 (Arbitrator.capacity_bps a);
   Arbitrator.set_capacity a (-1.);

@@ -1,0 +1,208 @@
+(* Trace bus: disabled-bus overhead contract, JSONL determinism across
+   reruns and across fork (serial vs. worker), filter semantics, ring-buffer
+   bounds, and the stray-packet counter surfaced by the runner. *)
+
+let tmp_file tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "pase-trace-%s-%d.jsonl" tag (Unix.getpid ()))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let traced_run_to path =
+  let oc = open_out path in
+  Trace.attach (Trace.jsonl_sink oc);
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.reset ();
+      close_out oc)
+    (fun () ->
+      let sc = Scenario.testbed ~num_flows:20 ~seed:2 ~load:0.5 () in
+      Runner.run Runner.pase sc)
+
+let pkt ~flow seq =
+  Packet.make ~flow ~src:0 ~dst:1 ~kind:Packet.Data ~size:1500 ~seq
+    ~sent_at:0. ()
+
+(* With no sink attached the bus is off and nothing is counted: the guard
+   at every instrumentation site short-circuits. *)
+let test_disabled_bus_is_silent () =
+  Trace.reset ();
+  Alcotest.(check bool) "bus off" false (Trace.on ());
+  let sc = Scenario.testbed ~num_flows:10 ~seed:1 ~load:0.4 () in
+  let r = Runner.run Runner.Dctcp sc in
+  Alcotest.(check bool) "flows ran" true (r.Runner.completed > 0);
+  Alcotest.(check int) "no events emitted" 0 (Trace.emitted ());
+  (* emit without a sink is a no-op, not an error *)
+  Trace.emit (Trace.Flow_finish { flow = 0; fct = 1. });
+  Alcotest.(check int) "still nothing" 0 (Trace.emitted ())
+
+(* Two traced runs of the same configuration produce byte-identical JSONL
+   files, and every line is a JSON object with the common envelope. *)
+let test_jsonl_reruns_byte_identical () =
+  Trace.reset ();
+  let f1 = tmp_file "a" and f2 = tmp_file "b" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with _ -> ()) [ f1; f2 ])
+    (fun () ->
+      let r1 = traced_run_to f1 in
+      let r2 = traced_run_to f2 in
+      Alcotest.(check bool) "results identical" true
+        (Result_codec.encode r1 = Result_codec.encode r2);
+      let a = read_file f1 and b = read_file f2 in
+      Alcotest.(check bool) "trace non-empty" true (String.length a > 0);
+      Alcotest.(check bool) "traces byte-identical" true (a = b);
+      String.split_on_char '\n' a
+      |> List.iter (fun line ->
+             if line <> "" then begin
+               Alcotest.(check bool) "line is an object" true
+                 (line.[0] = '{' && line.[String.length line - 1] = '}');
+               Alcotest.(check bool) "line has a timestamp" true
+                 (String.length line > 5 && String.sub line 0 5 = {|{"t":|})
+             end))
+
+(* A forked child (the shape of a parallel worker) writes exactly the trace
+   the parent writes for the same job: the bus is per-process state. *)
+let test_fork_matches_serial () =
+  Trace.reset ();
+  let f_parent = tmp_file "serial" and f_child = tmp_file "forked" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with _ -> ()) [ f_parent; f_child ])
+    (fun () ->
+      (match Unix.fork () with
+      | 0 ->
+          let ok = try ignore (traced_run_to f_child); true with _ -> false in
+          Stdlib.exit (if ok then 0 else 1)
+      | child ->
+          let _, status = Unix.waitpid [] child in
+          Alcotest.(check bool) "child succeeded" true
+            (status = Unix.WEXITED 0));
+      ignore (traced_run_to f_parent);
+      Alcotest.(check bool) "forked trace matches serial" true
+        (read_file f_parent = read_file f_child))
+
+(* Filter semantics, driven through the public bus with synthetic events:
+   same-key values union, distinct keys intersect, flow/link filters exclude
+   flowless/linkless events. *)
+let test_filters () =
+  Trace.reset ();
+  Trace.set_clock (fun () -> 0.);
+  let ring, sink = Trace.ring_sink ~capacity:64 in
+  Trace.attach sink;
+  Fun.protect ~finally:Trace.reset (fun () ->
+      let burst () =
+        Trace.emit (Trace.Drop { pkt = pkt ~flow:1 0; link = (0, 3); qpkts = 9 });
+        Trace.emit (Trace.Drop { pkt = pkt ~flow:2 0; link = (4, 5); qpkts = 9 });
+        Trace.emit
+          (Trace.Enqueue { pkt = pkt ~flow:1 1; link = (0, 3); qpkts = 1 });
+        Trace.emit (Trace.Cwnd { flow = 2; cwnd = 4.; ssthresh = 8. });
+        Trace.emit
+          (Trace.Arb { link = (0, 3); delegate = 0; flows = 2; top_flows = 1 })
+      in
+      burst ();
+      Alcotest.(check int) "no filter passes all" 5 (Trace.ring_seen ring);
+
+      Trace.set_kind_filter (Some [ Trace.Kind.Drop ]);
+      burst ();
+      Alcotest.(check int) "kind filter" 7 (Trace.ring_seen ring);
+
+      Trace.set_flow_filter (Some [ 1 ]);
+      burst ();
+      (* kind=drop AND flow=1: one event per burst *)
+      Alcotest.(check int) "kind+flow intersect" 8 (Trace.ring_seen ring);
+
+      Trace.set_kind_filter None;
+      burst ();
+      (* flow=1 alone: drop+enqueue for flow 1; Cwnd is flow 2; Arb is
+         flowless and must not pass a flow filter. *)
+      Alcotest.(check int) "flow filter excludes flowless" 10
+        (Trace.ring_seen ring);
+
+      Trace.set_flow_filter None;
+      Trace.set_link_filter (Some [ (4, 5) ]);
+      burst ();
+      Alcotest.(check int) "link filter excludes linkless" 11
+        (Trace.ring_seen ring);
+      match List.rev (Trace.ring_contents ring) with
+      | (_, Trace.Drop { link = (4, 5); _ }) :: _ -> ()
+      | (_, e) :: _ ->
+          Alcotest.failf "unexpected last event kind %s"
+            (Trace.Kind.name (Trace.kind_of e))
+      | [] -> Alcotest.fail "ring empty")
+
+(* The ring keeps the newest [capacity] events, oldest first, and counts
+   everything it ever saw. *)
+let test_ring_bounds () =
+  Trace.reset ();
+  Trace.set_clock (fun () -> 0.);
+  let ring, sink = Trace.ring_sink ~capacity:4 in
+  Trace.attach sink;
+  Fun.protect ~finally:Trace.reset (fun () ->
+      for i = 0 to 9 do
+        Trace.emit (Trace.Ctrl { flow = i; msgs = 1 })
+      done;
+      Alcotest.(check int) "length bounded" 4 (Trace.ring_length ring);
+      Alcotest.(check int) "seen counts evicted" 10 (Trace.ring_seen ring);
+      let flows =
+        List.map
+          (function _, Trace.Ctrl { flow; _ } -> flow | _ -> -1)
+          (Trace.ring_contents ring)
+      in
+      Alcotest.(check (list int)) "newest four, oldest first" [ 6; 7; 8; 9 ]
+        flows);
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Trace.ring_sink: capacity must be positive") (fun () ->
+      ignore (Trace.ring_sink ~capacity:0))
+
+(* Kind names round-trip (the CLI parses them back). *)
+let test_kind_names_roundtrip () =
+  List.iter
+    (fun k ->
+      match Trace.Kind.of_name (Trace.Kind.name k) with
+      | Some k' ->
+          Alcotest.(check int) "round-trips" (Trace.Kind.index k)
+            (Trace.Kind.index k')
+      | None -> Alcotest.failf "name %s not parsed" (Trace.Kind.name k))
+    Trace.Kind.all;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Trace.Kind.of_name "no-such-kind" = None);
+  Alcotest.(check int) "count matches all" Trace.Kind.count
+    (List.length Trace.Kind.all)
+
+(* Runner surfaces stray packets (none on a healthy run) and the engine's
+   peak heap depth. *)
+let test_runner_counters () =
+  Trace.reset ();
+  let sc = Scenario.testbed ~num_flows:15 ~seed:4 ~load:0.5 () in
+  let r = Runner.run ~profile:true Runner.Dctcp sc in
+  Alcotest.(check int) "no stray packets" 0 r.Runner.stray_pkts;
+  Alcotest.(check bool) "peak heap positive" true (r.Runner.peak_heap > 0);
+  Alcotest.(check bool) "profile has sites" true
+    (List.length r.Runner.sched_profile > 0);
+  List.iter
+    (fun (label, n) ->
+      Alcotest.(check bool) (label ^ " counted") true (n >= 0))
+    r.Runner.sched_profile;
+  (* unprofiled runs carry no site table *)
+  let r' = Runner.run Runner.Dctcp sc in
+  Alcotest.(check (list (pair string int))) "profiling off" []
+    r'.Runner.sched_profile
+
+let suite =
+  [
+    Alcotest.test_case "disabled bus is silent" `Quick
+      test_disabled_bus_is_silent;
+    Alcotest.test_case "jsonl reruns byte-identical" `Quick
+      test_jsonl_reruns_byte_identical;
+    Alcotest.test_case "fork matches serial" `Quick test_fork_matches_serial;
+    Alcotest.test_case "filters" `Quick test_filters;
+    Alcotest.test_case "ring bounds" `Quick test_ring_bounds;
+    Alcotest.test_case "kind names roundtrip" `Quick test_kind_names_roundtrip;
+    Alcotest.test_case "runner counters" `Quick test_runner_counters;
+  ]
