@@ -6,6 +6,7 @@
      dune exec bench/main.exe                 # all experiments
      dune exec bench/main.exe -- fig9a fig2   # a subset
      dune exec bench/main.exe -- --list       # list experiment ids
+     dune exec bench/main.exe -- --quiet ...  # no progress chatter on stderr
 
    Environment:
      PASE_FLOWS      measured flows per run            (default 800)
@@ -36,7 +37,15 @@ let loads =
 let ms v = v *. 1e3
 let fmt_ms v = Printf.sprintf "%.3f" v
 let fmt_pct v = Printf.sprintf "%.1f" v
-let progress fmt = Printf.ksprintf (fun s -> Printf.eprintf "  [bench] %s\n%!" s) fmt
+
+(* --quiet silences per-run progress chatter on stderr; results on stdout
+   are unaffected. *)
+let quiet = ref false
+
+let progress fmt =
+  Printf.ksprintf
+    (fun s -> if not !quiet then Printf.eprintf "  [bench] %s\n%!" s)
+    fmt
 
 (* Worker-pool width: --jobs=N beats PASE_JOBS beats online cores. Set once
    in main before any experiment runs. *)
@@ -819,6 +828,7 @@ let experiments =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  quiet := List.mem "--quiet" args;
   jobs :=
     List.find_map
       (fun a ->

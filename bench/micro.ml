@@ -1,0 +1,291 @@
+(* Engine hot-path benchmark: records the perf trajectory of the event
+   engine in BENCH_engine.json.
+
+   Usage:
+     dune exec bench/micro.exe                      # full run, label "post"
+     dune exec bench/micro.exe -- --quick           # CI smoke sizes
+     dune exec bench/micro.exe -- --label pre       # record a baseline
+     dune exec bench/micro.exe -- --out FILE        # default BENCH_engine.json
+     dune exec bench/micro.exe -- --reps N          # macro repetitions
+
+   Three measurements per run:
+     - macro:        the k=6 fat-tree PASE scenario (the heaviest standard
+                     workload) through Runner.run, in-process wall time and
+                     self-measured GC deltas
+     - heap churn:   self-rescheduling events hammering Eheap add/pop
+     - timer churn:  the RTO re-arm pattern (cancel + reschedule every
+                     round) that stresses dead-slot handling
+
+   The harness deliberately restricts itself to the engine API surface
+   that is stable across engine generations (schedule, schedule_cancellable,
+   run, events_processed) so the very same file compiles against an older
+   checkout of lib/ — that is how the committed "pre" entry was captured:
+   stash the lib/ changes, build, `--label pre`, pop, rebuild, default
+   label. Entries are merged by label into the output file, one JSON
+   object per line inside the "entries" array, so repeated runs replace
+   their own label and leave the rest of the trajectory intact. *)
+
+(* lint: allow no-wallclock — benchmark harness; measures real elapsed
+   time around whole runs, never inside simulation logic *)
+let wall () = Unix.gettimeofday ()
+
+(* ---- measurement ------------------------------------------------------- *)
+
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_collections : int;
+}
+
+type sample = { wall_s : float; events : int; gc : gc_delta }
+
+(* Level the field, then time [f] and charge it for its allocations. *)
+let measure f =
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let t0 = wall () in
+  let events = f () in
+  let t1 = wall () in
+  let g1 = Gc.quick_stat () in
+  {
+    wall_s = t1 -. t0;
+    events;
+    gc =
+      {
+        minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+        promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+        major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+      };
+  }
+
+let per_sec s = float_of_int s.events /. s.wall_s
+
+(* Fastest repetition: the others mostly measure scheduler noise. *)
+let best samples =
+  List.fold_left (fun a b -> if per_sec b > per_sec a then b else a)
+    (List.hd samples) (List.tl samples)
+
+(* ---- workloads --------------------------------------------------------- *)
+
+(* Deterministic delay stream (SplitMix64-ish); the benchmark must pop in
+   a data-dependent order or the heap path is unrealistically branchy. *)
+let make_rng seed =
+  let state = ref seed in
+  fun () ->
+    let z = Int64.add !state 0x9E3779B97F4A7C15L in
+    state := z;
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_float (Int64.shift_right_logical z 11) *. (1. /. 9007199254740992.)
+
+let macro ~flows ~reps () =
+  let scenario = Scenario.fat_tree_uniform ~k:6 ~num_flows:flows ~seed:1 ~load:0.6 () in
+  let samples =
+    List.init reps (fun _ ->
+        measure (fun () ->
+            let r = Runner.run Runner.pase scenario in
+            r.Runner.events))
+  in
+  best samples
+
+(* [width] self-rescheduling events; every pop immediately pushes with a
+   pseudo-random delay, so the heap stays [width] deep while add/pop and
+   sift paths run [pops] times. *)
+let heap_churn ~pops () =
+  let e = Engine.create () in
+  let next = make_rng 42L in
+  let remaining = ref pops in
+  let rec step () =
+    if !remaining > 0 then begin
+      decr remaining;
+      Engine.schedule e ~delay:(1e-6 +. (1e-4 *. next ())) step
+    end
+  in
+  let width = 1024 in
+  measure (fun () ->
+      for _ = 1 to width do
+        Engine.schedule e ~delay:(1e-6 +. (1e-4 *. next ())) step
+      done;
+      Engine.run e;
+      Engine.events_processed e)
+
+(* The sender RTO pattern: each of [width] flows re-arms a far-future
+   cancellable every round, cancelling the previous one. Almost every
+   scheduled event dies unfired — the worst case for heap occupancy and
+   exactly what timer rescheduling / lazy compaction are for. *)
+let timer_churn ~rounds () =
+  let e = Engine.create () in
+  let next = make_rng 7L in
+  let width = 256 in
+  let cancels = Array.make width None in
+  let remaining = ref rounds in
+  let rec tick i () =
+    (match cancels.(i) with Some c -> c () | None -> ());
+    cancels.(i) <-
+      Some (Engine.schedule_cancellable e ~delay:1.0 (fun () -> ()));
+    if !remaining > 0 then begin
+      decr remaining;
+      Engine.schedule e ~delay:(1e-6 +. (1e-5 *. next ())) (tick i)
+    end
+  in
+  measure (fun () ->
+      for i = 0 to width - 1 do
+        Engine.schedule e ~delay:(float_of_int (i + 1) *. 1e-7) (tick i)
+      done;
+      Engine.run e;
+      Engine.events_processed e)
+
+(* ---- BENCH_engine.json ------------------------------------------------- *)
+
+(* The file is real JSON, but written one entry object per line so that
+   merging by label needs no JSON parser: keep every entry line whose
+   label differs, append ours, rewrite. *)
+
+let entry_prefix = {|{"label":"|}
+
+let entry_label line =
+  let plen = String.length entry_prefix in
+  if String.length line > plen && String.sub line 0 plen = entry_prefix then
+    match String.index_from_opt line plen '"' with
+    | Some stop -> Some (String.sub line plen (stop - plen))
+    | None -> None
+  else None
+
+let read_entries path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        let line =
+          if String.length line > 0 && line.[String.length line - 1] = ',' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        match entry_label line with Some l -> Some (l, line) | None -> None)
+      (List.rev !lines)
+  end
+
+let write_entries path entries =
+  let oc = open_out path in
+  output_string oc "{\"benchmark\":\"engine\",\"schema\":1,\"entries\":[\n";
+  List.iteri
+    (fun i (_, line) ->
+      if i > 0 then output_string oc ",\n";
+      output_string oc line)
+    entries;
+  output_string oc "\n]}\n";
+  close_out oc
+
+(* First number following ["key":] in [line]; the entry schema is flat
+   enough that a textual probe is unambiguous. *)
+let probe_float line key =
+  let pat = Printf.sprintf {|"%s":|} key in
+  let plen = String.length pat in
+  let n = String.length line in
+  let rec find i =
+    if i + plen > n then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < n
+        && (match line.[!stop] with
+           | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub line start (!stop - start))
+
+let entry_json ~label ~quick ~flows ~(macro : sample) ~(heap : sample)
+    ~(timer : sample) =
+  Printf.sprintf
+    {|{"label":"%s","quick":%b,"macro":{"scenario":"fat-tree-k6","protocol":"pase","load":0.6,"flows":%d,"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"gc":{"minor_words":%.0f,"promoted_words":%.0f,"major_collections":%d}},"heap_churn":{"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"minor_words":%.0f},"timer_churn":{"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"minor_words":%.0f}}|}
+    label quick flows macro.events macro.wall_s (per_sec macro)
+    macro.gc.minor_words macro.gc.promoted_words macro.gc.major_collections
+    heap.events heap.wall_s (per_sec heap) heap.gc.minor_words timer.events
+    timer.wall_s (per_sec timer) timer.gc.minor_words
+
+(* ---- driver ------------------------------------------------------------ *)
+
+let () =
+  let quick = ref false in
+  let label = ref "post" in
+  let out = ref "BENCH_engine.json" in
+  let reps = ref 3 in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--label" :: v :: rest ->
+        label := v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--reps" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n > 0 -> reps := n
+        | _ -> failwith ("--reps wants a positive integer, got " ^ v));
+        parse rest
+    | a :: _ -> failwith ("unknown argument " ^ a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let flows = if !quick then 120 else 800 in
+  let pops = if !quick then 200_000 else 2_000_000 in
+  let rounds = if !quick then 100_000 else 500_000 in
+  let reps = if !quick then 1 else !reps in
+  Printf.eprintf "  [micro] macro: fat-tree pase, %d flows, %d rep(s)\n%!" flows
+    reps;
+  let macro = macro ~flows ~reps () in
+  Printf.eprintf "  [micro] macro: %d events in %.3fs = %.0f ev/s\n%!"
+    macro.events macro.wall_s (per_sec macro);
+  let heap = heap_churn ~pops () in
+  Printf.eprintf "  [micro] heap churn: %d events in %.3fs = %.0f ev/s\n%!"
+    heap.events heap.wall_s (per_sec heap);
+  let timer = timer_churn ~rounds () in
+  Printf.eprintf "  [micro] timer churn: %d events in %.3fs = %.0f ev/s\n%!"
+    timer.events timer.wall_s (per_sec timer);
+  let entry = entry_json ~label:!label ~quick:!quick ~flows ~macro ~heap ~timer in
+  let entries =
+    List.filter (fun (l, _) -> l <> !label) (read_entries !out) @ [ (!label, entry) ]
+  in
+  write_entries !out entries;
+  Printf.printf "%s: %d entr%s\n" !out (List.length entries)
+    (if List.length entries = 1 then "y" else "ies");
+  List.iter
+    (fun (l, line) ->
+      match probe_float line "events_per_sec" with
+      | Some v -> Printf.printf "  %-8s macro %.0f ev/s\n" l v
+      | None -> ())
+    entries;
+  (* The headline number: macro speedup of this run over the recorded
+     baseline, when one exists. *)
+  match
+    (List.assoc_opt "pre" entries, !label <> "pre")
+  with
+  | Some pre_line, true -> (
+      match
+        (probe_float pre_line "events_per_sec", probe_float entry "events_per_sec")
+      with
+      | Some pre, Some cur when pre > 0. ->
+          Printf.printf "macro speedup vs pre: %.2fx\n" (cur /. pre)
+      | _ -> ())
+  | _ -> ()

@@ -228,9 +228,22 @@ let cache_dir ~no_cache =
   if no_cache then None else Parallel.default_cache_dir ()
 
 let profile_rows (r : Runner.result) =
-  List.map
-    (fun (label, n) -> [ Printf.sprintf "events[%s]" label; string_of_int n ])
-    r.Runner.sched_profile
+  let sites =
+    List.map
+      (fun (label, n) -> [ Printf.sprintf "events[%s]" label; string_of_int n ])
+      r.Runner.sched_profile
+  in
+  (* GC deltas ride along on profiled runs (see Engine.profile). *)
+  if r.Runner.sched_profile = [] then sites
+  else
+    sites
+    @ [
+        [ "gc.minor_words"; Printf.sprintf "%.0f" r.Runner.gc_minor_words ];
+        [ "gc.promoted_words"; Printf.sprintf "%.0f" r.Runner.gc_promoted_words ];
+        [
+          "gc.major_collections"; string_of_int r.Runner.gc_major_collections;
+        ];
+      ]
 
 let run_cmd =
   let action scenario protocol load flows seed no_cache json trace trace_format

@@ -35,6 +35,8 @@ type t = {
   mutable level_of : int array;
   mutable rounds : int;
   mutable running : bool;
+  mutable next_rebalance : float;
+  mutable tick_timer : Engine.timer option;  (* the arb-round loop *)
 }
 
 let node_levels (topo : Topology.t) =
@@ -61,6 +63,8 @@ let create engine counters cfg topo ~base_rate_bps =
     level_of = node_levels topo;
     rounds = 0;
     running = false;
+    next_rebalance = 0.;
+    tick_timer = None;
   }
 
 let overbook = 1.6
@@ -379,27 +383,33 @@ let round t =
           end))
     t.flows
 
-let rec tick t ~next_rebalance =
+(* The arbitration round loop rides one reschedulable engine timer instead
+   of allocating a closure per period; the rebalance deadline lives on [t]
+   rather than being threaded through each closure. *)
+let rec tick t =
   if t.running then begin
     round t;
-    let next_rebalance =
-      if
-        t.cfg.Config.delegation
-        && Engine.now t.engine >= next_rebalance
-      then begin
-        rebalance t;
-        Engine.now t.engine +. t.cfg.Config.delegation_period
-      end
-      else next_rebalance
+    if t.cfg.Config.delegation && Engine.now t.engine >= t.next_rebalance
+    then begin
+      rebalance t;
+      t.next_rebalance <- Engine.now t.engine +. t.cfg.Config.delegation_period
+    end;
+    let tm =
+      match t.tick_timer with
+      | Some tm -> tm
+      | None ->
+          let tm = Engine.timer ~label:"arb-round" t.engine (fun () -> tick t) in
+          t.tick_timer <- Some tm;
+          tm
     in
-    Engine.schedule ~label:"arb-round" t.engine ~delay:t.cfg.Config.arb_period
-      (fun () -> tick t ~next_rebalance)
+    Engine.timer_schedule t.engine tm ~delay:t.cfg.Config.arb_period
   end
 
 let start t =
   if not t.running then begin
     t.running <- true;
-    tick t ~next_rebalance:(Engine.now t.engine +. t.cfg.Config.delegation_period)
+    t.next_rebalance <- Engine.now t.engine +. t.cfg.Config.delegation_period;
+    tick t
   end
 
 let stop t = t.running <- false

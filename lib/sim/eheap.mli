@@ -1,19 +1,45 @@
 (** Binary min-heap keyed by [(time, seq)], used as the simulator's event
     queue. Ties on [time] break on insertion order ([seq]), giving the
-    engine FIFO semantics for simultaneous events. *)
+    engine FIFO semantics for simultaneous events.
+
+    The heap is laid out as a structure of arrays: an unboxed [float array]
+    of times, an [int array] of seqs, and a value array. Keys never touch
+    the OCaml heap after insertion, and sifting moves at most one slot per
+    level (hole-based, not swap-based). *)
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ~dummy ()] makes an empty heap. [dummy] fills dead value slots
+    so popped values are not retained; it is never returned by any
+    accessor. *)
+val create : dummy:'a -> unit -> 'a t
 
 (** [add t ~time ~seq v] inserts [v] with key [(time, seq)]. *)
 val add : 'a t -> time:float -> seq:int -> 'a -> unit
 
-(** [pop t] removes and returns the minimum element, or [None] if empty. *)
+(** [min_time t] is the time key of the minimum element. Unspecified when
+    the heap is empty: check {!is_empty} first. *)
+val min_time : 'a t -> float
+
+(** [min_seq t] is the seq key of the minimum element. Unspecified when the
+    heap is empty: check {!is_empty} first. *)
+val min_seq : 'a t -> int
+
+(** [pop_min t] removes and returns the minimum element. The heap must not
+    be empty: check {!is_empty} first. *)
+val pop_min : 'a t -> 'a
+
+(** [pop t] removes and returns the minimum element with its time, or
+    [None] if empty. Convenience wrapper over {!pop_min}. *)
 val pop : 'a t -> (float * 'a) option
 
 (** [peek_time t] returns the key of the minimum element without removal. *)
 val peek_time : 'a t -> float option
+
+(** [compact t ~keep] drops every element for which [keep ~seq v] is false,
+    then restores the heap invariant (Floyd heapify, O(n)). Relative order
+    of surviving elements is unchanged because their keys are unchanged. *)
+val compact : 'a t -> keep:(seq:int -> 'a -> bool) -> unit
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool

@@ -1,15 +1,43 @@
-type event = { fn : unit -> unit; mutable live : bool; ctr : int ref option }
+(* Event records are mutable and pooled: a fired one-shot event goes back on
+   a free list and its closure reference is dropped immediately (closures
+   capture packets and flow state; see Eheap on retention). Timer events are
+   owned by their [timer] handle for the life of the simulation and are
+   never pooled.
+
+   Staleness protocol: a heap slot is live iff the event it holds has
+   [live = true] AND the slot's seq equals the event's [key_seq]. Timer
+   rescheduling pushes a fresh slot with a fresh seq and bumps [key_seq];
+   the superseded slot goes stale in place, no heap surgery needed. The
+   engine counts dead slots and compacts the heap when they outnumber live
+   ones ([maybe_compact]). *)
+
+type event = {
+  mutable fn : unit -> unit;
+  mutable live : bool;
+  mutable key_seq : int;  (* seq of the one heap slot that may fire this *)
+  mutable gen : int;  (* bumped on pool reuse; guards stale cancel handles *)
+  recyclable : bool;  (* timers are permanent, one-shots return to the pool *)
+  mutable ctr : int ref option;
+}
+
+type timer = { tev : event; tlabel : string option }
 
 type t = {
   heap : event Eheap.t;
   mutable time : float;
   mutable seq : int;
   mutable processed : int;
+  mutable dead : int;  (* cancelled/superseded slots still in the heap *)
   mutable stopped : bool;
+  mutable pool : event array;
+  mutable pool_len : int;
   mutable profiling : bool;
   site_counts : (string, int ref) Hashtbl.t;
   mutable peak_heap : int;
   mutable wall_s : float;
+  mutable minor_words : float;
+  mutable promoted_words : float;
+  mutable major_collections : int;
 }
 
 type cancel = unit -> unit
@@ -18,20 +46,41 @@ type profile = {
   executed : int;
   peak_heap : int;
   wall_s : float;
+  minor_words : float;
+  promoted_words : float;
+  major_collections : int;
   sites : (string * int) list;
 }
 
+let ignore_fn = ignore
+
+let dummy_event () =
+  {
+    fn = ignore_fn;
+    live = false;
+    key_seq = min_int;
+    gen = 0;
+    recyclable = false;
+    ctr = None;
+  }
+
 let create () =
   {
-    heap = Eheap.create ();
+    heap = Eheap.create ~dummy:(dummy_event ()) ();
     time = 0.;
     seq = 0;
     processed = 0;
+    dead = 0;
     stopped = false;
+    pool = [||];
+    pool_len = 0;
     profiling = false;
     site_counts = Hashtbl.create 16;
     peak_heap = 0;
     wall_s = 0.;
+    minor_words = 0.;
+    promoted_words = 0.;
+    major_collections = 0;
   }
 
 let now t = t.time
@@ -42,6 +91,9 @@ let profile t =
     executed = t.processed;
     peak_heap = t.peak_heap;
     wall_s = t.wall_s;
+    minor_words = t.minor_words;
+    promoted_words = t.promoted_words;
+    major_collections = t.major_collections;
     sites =
       Det_tbl.fold (fun label c acc -> (label, !c) :: acc) t.site_counts []
       |> List.rev;
@@ -67,15 +119,59 @@ let note_depth t =
   let d = Eheap.size t.heap in
   if d > t.peak_heap then t.peak_heap <- d
 
+let pool_cap = 1024
+
+let recycle t e =
+  e.fn <- ignore_fn;
+  e.ctr <- None;
+  e.live <- false;
+  if t.pool_len < pool_cap then begin
+    if t.pool_len = Array.length t.pool then begin
+      let ncap = max 64 (min pool_cap (2 * Array.length t.pool)) in
+      let np = Array.make ncap e in
+      Array.blit t.pool 0 np 0 t.pool_len;
+      t.pool <- np
+    end;
+    t.pool.(t.pool_len) <- e;
+    t.pool_len <- t.pool_len + 1
+  end
+
+let alloc_event t fn ctr =
+  if t.pool_len > 0 then begin
+    t.pool_len <- t.pool_len - 1;
+    let e = t.pool.(t.pool_len) in
+    e.fn <- fn;
+    e.live <- true;
+    e.gen <- e.gen + 1;
+    e.ctr <- ctr;
+    e
+  end
+  else { fn; live = true; key_seq = 0; gen = 0; recyclable = true; ctr }
+
+(* Compact when dead slots outnumber live ones (and there are enough of
+   them to matter). The trigger and the sweep are pure functions of
+   simulation state, so compaction never perturbs results. *)
+let maybe_compact t =
+  let n = Eheap.size t.heap in
+  if t.dead > 64 && 2 * t.dead > n then begin
+    Eheap.compact t.heap ~keep:(fun ~seq e -> e.live && e.key_seq = seq);
+    t.dead <- 0
+  end
+
+let push t ~time fn ctr =
+  let e = alloc_event t fn ctr in
+  e.key_seq <- t.seq;
+  Eheap.add t.heap ~time ~seq:t.seq e;
+  t.seq <- t.seq + 1;
+  note_depth t;
+  e
+
 let schedule_at ?label t ~time fn =
   if time < t.time then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time
          t.time);
-  let e = { fn; live = true; ctr = site_ctr t label } in
-  Eheap.add t.heap ~time ~seq:t.seq e;
-  t.seq <- t.seq + 1;
-  note_depth t
+  ignore (push t ~time fn (site_ctr t label))
 
 let schedule ?label t ~delay fn =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
@@ -83,11 +179,57 @@ let schedule ?label t ~delay fn =
 
 let schedule_cancellable ?label t ~delay fn =
   if delay < 0. then invalid_arg "Engine.schedule_cancellable: negative delay";
-  let e = { fn; live = true; ctr = site_ctr t label } in
-  Eheap.add t.heap ~time:(t.time +. delay) ~seq:t.seq e;
+  let e = push t ~time:(t.time +. delay) fn (site_ctr t label) in
+  let g = e.gen in
+  fun () ->
+    if e.gen = g && e.live then begin
+      e.live <- false;
+      t.dead <- t.dead + 1;
+      maybe_compact t
+    end
+
+let timer ?label _t fn =
+  {
+    tev =
+      {
+        fn;
+        live = false;
+        key_seq = min_int;
+        gen = 0;
+        recyclable = false;
+        ctr = None;
+      };
+    tlabel = label;
+  }
+
+let timer_schedule_at t tm ~time =
+  if time < t.time then
+    invalid_arg
+      (Printf.sprintf "Engine.timer_schedule_at: time %g is in the past (now %g)"
+         time t.time);
+  let e = tm.tev in
+  if e.live then t.dead <- t.dead + 1 (* the superseded slot goes stale *);
+  e.live <- true;
+  e.key_seq <- t.seq;
+  e.ctr <- site_ctr t tm.tlabel;
+  Eheap.add t.heap ~time ~seq:t.seq e;
   t.seq <- t.seq + 1;
   note_depth t;
-  fun () -> e.live <- false
+  maybe_compact t
+
+let timer_schedule t tm ~delay =
+  if delay < 0. then invalid_arg "Engine.timer_schedule: negative delay";
+  timer_schedule_at t tm ~time:(t.time +. delay)
+
+let timer_cancel t tm =
+  let e = tm.tev in
+  if e.live then begin
+    e.live <- false;
+    t.dead <- t.dead + 1;
+    maybe_compact t
+  end
+
+let timer_pending tm = tm.tev.live
 
 let run ?until ?max_events t =
   t.stopped <- false;
@@ -96,6 +238,8 @@ let run ?until ?max_events t =
        simulation or its results. *)
     if t.profiling then Sys.time () else 0.
   in
+  let gc_start = if t.profiling then Some (Gc.quick_stat ()) else None in
+  let horizon = match until with None -> infinity | Some h -> h in
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
   let continue = ref true in
   let exhausted = ref false in
@@ -103,30 +247,55 @@ let run ?until ?max_events t =
      event keeps its original seq, so FIFO tie-order is stable across chunked
      [run ~until] calls. *)
   while !continue && not t.stopped do
-    match (Eheap.peek_time t.heap, until) with
-    | None, _ ->
+    if Eheap.is_empty t.heap then begin
+      exhausted := true;
+      continue := false
+    end
+    else begin
+      let time = Eheap.min_time t.heap in
+      if time > horizon then begin
         exhausted := true;
         continue := false
-    | Some next, Some horizon when next > horizon ->
-        exhausted := true;
-        continue := false
-    | Some _, _ -> (
-        match Eheap.pop t.heap with
-        | None -> continue := false
-        | Some (time, e) ->
-            if e.live then begin
-              t.time <- time;
-              t.processed <- t.processed + 1;
-              (match e.ctr with Some c -> incr c | None -> ());
-              e.fn ();
-              decr budget;
-              if !budget <= 0 then continue := false
-            end)
+      end
+      else begin
+        let seq = Eheap.min_seq t.heap in
+        let e = Eheap.pop_min t.heap in
+        (* Every pop counts against the budget, live or dead: draining dead
+           slots is work, and an all-dead heap must still terminate. *)
+        decr budget;
+        if e.live && e.key_seq = seq then begin
+          e.live <- false;
+          t.time <- time;
+          t.processed <- t.processed + 1;
+          (match e.ctr with Some c -> incr c | None -> ());
+          let fn = e.fn in
+          if e.recyclable then recycle t e;
+          fn ()
+        end
+        else begin
+          t.dead <- t.dead - 1;
+          if e.recyclable then recycle t e
+        end;
+        if !budget <= 0 then continue := false
+      end
+    end
   done;
-  if t.profiling then
+  if t.profiling then begin
     (* lint: allow no-wallclock — profiling only; never feeds back into the
        simulation or its results. *)
     t.wall_s <- t.wall_s +. (Sys.time () -. wall_start);
+    match gc_start with
+    | None -> ()
+    | Some gc0 ->
+        let gc1 = Gc.quick_stat () in
+        t.minor_words <-
+          t.minor_words +. (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+        t.promoted_words <-
+          t.promoted_words +. (gc1.Gc.promoted_words -. gc0.Gc.promoted_words);
+        t.major_collections <-
+          t.major_collections
+          + (gc1.Gc.major_collections - gc0.Gc.major_collections)
+  end;
   (* A run that reached its horizon (rather than being stopped or running out
      of event budget) has simulated the whole [0, until] window: advance the
      clock so [now] reports the horizon, not the last event time. *)

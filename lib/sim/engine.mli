@@ -3,7 +3,11 @@
     The engine owns virtual time. Events are thunks scheduled at absolute or
     relative times; [run] executes them in [(time, insertion-order)] order
     until the queue drains, a stop condition triggers, or [stop] is called
-    from within an event. *)
+    from within an event.
+
+    Fired one-shot events are recycled through an internal pool, so the
+    steady-state hot path (schedule, pop, execute) allocates nothing beyond
+    the caller's closure. *)
 
 type t
 
@@ -28,13 +32,48 @@ val schedule_at : ?label:string -> t -> time:float -> (unit -> unit) -> unit
 val schedule_cancellable :
   ?label:string -> t -> delay:float -> (unit -> unit) -> cancel
 
+(** {1 Timers}
+
+    A [timer] is a reschedulable event handle: one callback, at most one
+    pending firing. Rescheduling a pending timer supersedes the previous
+    deadline in place — the old heap slot goes stale and is reaped lazily
+    (the engine compacts the heap when stale slots outnumber live ones), so
+    repeated re-arming (RTO resets, pause/unpause, periodic rounds) does
+    not grow the heap and allocates no new event record. *)
+
+type timer
+
+(** [timer t f] makes a timer running [f] at each firing. The timer starts
+    unscheduled. [label] names the site for {!profile}, as in {!schedule}. *)
+val timer : ?label:string -> t -> (unit -> unit) -> timer
+
+(** [timer_schedule t tm ~delay] (re)schedules [tm] to fire at
+    [now t +. delay], superseding any pending firing. *)
+val timer_schedule : t -> timer -> delay:float -> unit
+
+(** [timer_schedule_at t tm ~time] (re)schedules [tm] to fire at absolute
+    [time >= now t], superseding any pending firing. *)
+val timer_schedule_at : t -> timer -> time:float -> unit
+
+(** [timer_cancel t tm] unschedules any pending firing. No-op when idle. *)
+val timer_cancel : t -> timer -> unit
+
+(** [timer_pending tm] is [true] iff a firing is scheduled. *)
+val timer_pending : timer -> bool
+
 (** [run ?until ?max_events t] processes events in order. Stops when the
-    queue is empty, when virtual time would exceed [until], or after
-    [max_events] events. When the run covers the whole window — i.e. it was
-    not cut short by {!stop} or [max_events] — the clock advances to [until]
-    on return, so censoring at [now t] measures against the horizon. Events
-    beyond [until] stay queued with their original insertion order, making a
-    sequence of chunked [run ~until] calls equivalent to one big run. *)
+    queue is empty, when virtual time would exceed [until], or once
+    [max_events] queue pops have been spent. The budget counts {e every}
+    pop, including cancelled or superseded (dead) slots that are discarded
+    without executing: draining dead slots is real work, and counting it
+    guarantees [run] terminates within [max_events] iterations even on a
+    heap full of dead timers ([events_processed] still reports only
+    executed events). When the run covers the whole window — i.e. it was
+    not cut short by {!stop} or [max_events] — the clock advances to
+    [until] on return, so censoring at [now t] measures against the
+    horizon. Events beyond [until] stay queued with their original
+    insertion order, making a sequence of chunked [run ~until] calls
+    equivalent to one big run. *)
 val run : ?until:float -> ?max_events:int -> t -> unit
 
 (** [stop t] makes [run] return after the current event completes. *)
@@ -43,21 +82,26 @@ val stop : t -> unit
 (** Number of events executed so far (cancelled events are not counted). *)
 val events_processed : t -> int
 
-(** Number of events currently pending (including cancelled-but-unreaped). *)
+(** Number of events currently pending, including cancelled-but-unreaped
+    slots (lazy compaction may shrink this without any event firing). *)
 val pending : t -> int
 
 (** {1 Profiling}
 
     Off by default. When enabled, [schedule*] calls carrying a [?label]
     count executions per site, the peak heap depth is tracked, and [run]
-    accumulates CPU time. Site counts and peak depth are deterministic;
-    [wall_s] is the only nondeterministic field and must never be folded
-    into simulation results that are compared byte-for-byte. *)
+    accumulates CPU time and GC deltas ([Gc.quick_stat] before/after).
+    Site counts and peak depth are deterministic; [wall_s] and the GC
+    fields depend on process state and must never be folded into
+    simulation results that are compared byte-for-byte. *)
 
 type profile = {
   executed : int;  (** same as [events_processed] *)
   peak_heap : int;  (** max heap size observed at any schedule *)
   wall_s : float;  (** CPU seconds spent inside [run] (profiling runs only) *)
+  minor_words : float;  (** minor-heap words allocated during [run] *)
+  promoted_words : float;  (** words promoted to the major heap *)
+  major_collections : int;  (** major GC cycles completed during [run] *)
   sites : (string * int) list;
       (** executions per schedule-site label, sorted by label *)
 }

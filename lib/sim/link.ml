@@ -1,3 +1,11 @@
+(* The transmitter serializes: at most one packet is "on the wire head"
+   ([txing]) at a time, and completed transmissions enter a FIFO ring of
+   in-flight packets awaiting the (constant, per-link) propagation delay.
+   Because the delay is constant and transmissions complete in schedule
+   order, propagation events fire in ring order — so the two per-hop
+   closures ("link-tx", "link-prop") are allocated once per link at
+   [create] and reused for every packet, instead of once per packet hop. *)
+
 type t = {
   engine : Engine.t;
   qdisc : Queue_disc.t;
@@ -6,30 +14,83 @@ type t = {
   deliver : Packet.t -> unit;
   mutable busy : bool;
   mutable bytes_txed : int;
+  dummy : Packet.t;  (* fills dead slots so the ring retains nothing *)
+  mutable txing : Packet.t;  (* the packet being serialized; dummy if none *)
+  mutable fly : Packet.t array;  (* in-flight ring, FIFO *)
+  mutable fly_head : int;
+  mutable fly_len : int;
+  mutable tx_done : unit -> unit;
+  mutable prop_done : unit -> unit;
 }
 
-let create engine ~qdisc ~rate_bps ~delay_s ~deliver =
-  if rate_bps <= 0. then invalid_arg "Link.create: rate must be positive";
-  if delay_s < 0. then invalid_arg "Link.create: negative delay";
-  { engine; qdisc; rate_bps; delay_s; deliver; busy = false; bytes_txed = 0 }
+let fly_push t pkt =
+  let cap = Array.length t.fly in
+  if t.fly_len = cap then begin
+    let ncap = 2 * cap in
+    let nfly = Array.make ncap t.dummy in
+    for i = 0 to t.fly_len - 1 do
+      nfly.(i) <- t.fly.((t.fly_head + i) mod cap)
+    done;
+    t.fly <- nfly;
+    t.fly_head <- 0
+  end;
+  t.fly.((t.fly_head + t.fly_len) mod Array.length t.fly) <- pkt;
+  t.fly_len <- t.fly_len + 1
 
-let rec transmit_next t =
+let fly_pop t =
+  let pkt = t.fly.(t.fly_head) in
+  t.fly.(t.fly_head) <- t.dummy;
+  t.fly_head <- (t.fly_head + 1) mod Array.length t.fly;
+  t.fly_len <- t.fly_len - 1;
+  pkt
+
+let transmit_next t =
   match t.qdisc.Queue_disc.dequeue () with
   | None -> t.busy <- false
   | Some pkt ->
       t.busy <- true;
+      t.txing <- pkt;
       let tx_time = float_of_int (8 * pkt.Packet.size) /. t.rate_bps in
-      Engine.schedule ~label:"link-tx" t.engine ~delay:tx_time (fun () ->
-          t.bytes_txed <- t.bytes_txed + pkt.Packet.size;
-          (if Trace.on () then
-             let l = t.qdisc.Queue_disc.loc in
-             Trace.emit
-               (Trace.Tx { pkt; link = (l.Trace.from_node, l.Trace.to_node) }));
-          (* Propagation: the head bit pipeline is folded into arrival time;
-             the transmitter is free as soon as the last bit leaves. *)
-          Engine.schedule ~label:"link-prop" t.engine ~delay:t.delay_s
-            (fun () -> t.deliver pkt);
-          transmit_next t)
+      Engine.schedule ~label:"link-tx" t.engine ~delay:tx_time t.tx_done
+
+let create engine ~qdisc ~rate_bps ~delay_s ~deliver =
+  if rate_bps <= 0. then invalid_arg "Link.create: rate must be positive";
+  if delay_s < 0. then invalid_arg "Link.create: negative delay";
+  let dummy = Packet.dummy () in
+  let t =
+    {
+      engine;
+      qdisc;
+      rate_bps;
+      delay_s;
+      deliver;
+      busy = false;
+      bytes_txed = 0;
+      dummy;
+      txing = dummy;
+      fly = Array.make 8 dummy;
+      fly_head = 0;
+      fly_len = 0;
+      tx_done = ignore;
+      prop_done = ignore;
+    }
+  in
+  t.prop_done <- (fun () -> t.deliver (fly_pop t));
+  t.tx_done <-
+    (fun () ->
+      let pkt = t.txing in
+      t.txing <- t.dummy;
+      t.bytes_txed <- t.bytes_txed + pkt.Packet.size;
+      (if Trace.on () then
+         let l = t.qdisc.Queue_disc.loc in
+         Trace.emit
+           (Trace.Tx { pkt; link = (l.Trace.from_node, l.Trace.to_node) }));
+      (* Propagation: the head bit pipeline is folded into arrival time;
+         the transmitter is free as soon as the last bit leaves. *)
+      fly_push t pkt;
+      Engine.schedule ~label:"link-prop" t.engine ~delay:t.delay_s t.prop_done;
+      transmit_next t);
+  t
 
 let send t pkt =
   t.qdisc.Queue_disc.enqueue pkt;

@@ -73,11 +73,15 @@ let rec deliver t pkt node =
   if node = pkt.Packet.dst then begin
     t.counters.Counters.delivered_pkts <- t.counters.Counters.delivered_pkts + 1;
     if Trace.on () then Trace.emit (Trace.Rx { pkt; node });
-    match Hashtbl.find_opt t.handlers (node, pkt.Packet.flow) with
+    (match Hashtbl.find_opt t.handlers (node, pkt.Packet.flow) with
     | Some f -> f pkt
     | None ->
         t.counters.Counters.stray_pkts <- t.counters.Counters.stray_pkts + 1;
-        if Trace.on () then Trace.emit (Trace.Stray { pkt; node })
+        if Trace.on () then Trace.emit (Trace.Stray { pkt; node }));
+    (* The packet is done: handlers read it synchronously and never retain
+       it (see Packet.free). Recycling is off under tracing because sinks
+       may keep references past delivery. *)
+    if not (Trace.on ()) then Packet.free pkt
   end
   else forward t pkt node
 
@@ -86,6 +90,7 @@ and forward t pkt node =
   | None ->
       t.counters.Counters.stray_pkts <- t.counters.Counters.stray_pkts + 1;
       if Trace.on () then Trace.emit (Trace.Stray { pkt; node })
+      else Packet.free pkt
   | Some nh -> (
       match Hashtbl.find_opt t.directed (node, nh) with
       | Some link -> Link.send link pkt

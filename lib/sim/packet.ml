@@ -1,21 +1,21 @@
 type kind = Data | Ack | Probe | Probe_ack | Ctrl
 
 type t = {
-  id : int;
-  flow : int;
-  src : int;
-  dst : int;
-  kind : kind;
-  size : int;
-  seq : int;
-  ack : int;
-  sack : int;
+  mutable id : int;
+  mutable flow : int;
+  mutable src : int;
+  mutable dst : int;
+  mutable kind : kind;
+  mutable size : int;
+  mutable seq : int;
+  mutable ack : int;
+  mutable sack : int;
   mutable prio : float;
   mutable tos : int;
   mutable ecn_capable : bool;
   mutable ecn_ce : bool;
-  ecn_echo : bool;
-  sent_at : float;
+  mutable ecn_echo : bool;
+  mutable sent_at : float;
 }
 
 let header_bytes = 40
@@ -24,29 +24,94 @@ let probe_bytes = 40
 let ctrl_bytes = 64
 
 let next_id = ref 0
-let reset_ids () = next_id := 0
+
+(* Free list of dead packets. [make] always reinitializes every field (with
+   a fresh id), so reuse is invisible to simulation results; callers must
+   only [free] packets the data path will never touch again, and must not
+   free at all while the trace bus is on (a sink may retain live packets;
+   see Trace). *)
+let pool : t array ref = ref [||]
+let pool_len = ref 0
+let pool_cap = 4096
+
+let reset_ids () =
+  next_id := 0;
+  pool := [||];
+  pool_len := 0
+
+let dummy () =
+  {
+    id = -1;
+    flow = -1;
+    src = -1;
+    dst = -1;
+    kind = Ctrl;
+    size = 0;
+    seq = -1;
+    ack = -1;
+    sack = -1;
+    prio = 0.;
+    tos = 0;
+    ecn_capable = false;
+    ecn_ce = false;
+    ecn_echo = false;
+    sent_at = 0.;
+  }
+
+let free pkt =
+  if !pool_len < pool_cap then begin
+    if !pool_len = Array.length !pool then begin
+      let ncap = max 64 (min pool_cap (2 * Array.length !pool)) in
+      let np = Array.make ncap pkt in
+      Array.blit !pool 0 np 0 !pool_len;
+      pool := np
+    end;
+    !pool.(!pool_len) <- pkt;
+    incr pool_len
+  end
 
 let make ~flow ~src ~dst ~kind ~size ~seq ?(ack = -1) ?(sack = -1) ?(prio = 0.)
     ?(tos = 0) ?(ecn_capable = true) ?(ecn_echo = false) ~sent_at () =
   let id = !next_id in
   incr next_id;
-  {
-    id;
-    flow;
-    src;
-    dst;
-    kind;
-    size;
-    seq;
-    ack;
-    sack;
-    prio;
-    tos;
-    ecn_capable;
-    ecn_ce = false;
-    ecn_echo;
-    sent_at;
-  }
+  if !pool_len > 0 then begin
+    decr pool_len;
+    let p = !pool.(!pool_len) in
+    p.id <- id;
+    p.flow <- flow;
+    p.src <- src;
+    p.dst <- dst;
+    p.kind <- kind;
+    p.size <- size;
+    p.seq <- seq;
+    p.ack <- ack;
+    p.sack <- sack;
+    p.prio <- prio;
+    p.tos <- tos;
+    p.ecn_capable <- ecn_capable;
+    p.ecn_ce <- false;
+    p.ecn_echo <- ecn_echo;
+    p.sent_at <- sent_at;
+    p
+  end
+  else
+    {
+      id;
+      flow;
+      src;
+      dst;
+      kind;
+      size;
+      seq;
+      ack;
+      sack;
+      prio;
+      tos;
+      ecn_capable;
+      ecn_ce = false;
+      ecn_echo;
+      sent_at;
+    }
 
 let kind_str = function
   | Data -> "data"

@@ -1,7 +1,9 @@
 (** Simulated packets.
 
-    A packet is mutable only in the fields that switches rewrite (ECN mark)
-    or that the sender stamps per transmission (priority, queue band). *)
+    Logically, only the fields that switches rewrite (ECN mark) or that the
+    sender stamps per transmission (priority, queue band) are mutable; every
+    field is physically mutable so dead packets can be recycled through a
+    free list ({!free}/{!make}). Treat the others as immutable. *)
 
 type kind =
   | Data  (** payload-carrying segment *)
@@ -11,23 +13,23 @@ type kind =
   | Ctrl  (** control-plane message (arbitration, PDQ rate updates) *)
 
 type t = {
-  id : int;  (** globally unique per engine run *)
-  flow : int;  (** flow identifier *)
-  src : int;  (** originating host node id *)
-  dst : int;  (** destination host node id *)
-  kind : kind;
-  size : int;  (** bytes on the wire, headers included *)
-  seq : int;  (** data: segment index; probe: probed segment index *)
-  ack : int;  (** acks: cumulative ack (first unreceived segment index) *)
-  sack : int;  (** acks: the specific segment this ack acknowledges, or -1 *)
+  mutable id : int;  (** globally unique per engine run *)
+  mutable flow : int;  (** flow identifier *)
+  mutable src : int;  (** originating host node id *)
+  mutable dst : int;  (** destination host node id *)
+  mutable kind : kind;
+  mutable size : int;  (** bytes on the wire, headers included *)
+  mutable seq : int;  (** data: segment index; probe: probed segment index *)
+  mutable ack : int;  (** acks: cumulative ack (first unreceived segment index) *)
+  mutable sack : int;  (** acks: the specific segment this ack acknowledges, or -1 *)
   mutable prio : float;
       (** in-network priority; lower is more important (pFabric: remaining
           size in segments) *)
   mutable tos : int;  (** priority-queue band index; 0 is the highest band *)
   mutable ecn_capable : bool;
   mutable ecn_ce : bool;  (** congestion-experienced mark, set by queues *)
-  ecn_echo : bool;  (** acks: echo of the data packet's CE mark *)
-  sent_at : float;  (** time the packet entered the network at its source *)
+  mutable ecn_echo : bool;  (** acks: echo of the data packet's CE mark *)
+  mutable sent_at : float;  (** time the packet entered the network at its source *)
 }
 
 (** Header-only sizes in bytes. *)
@@ -37,8 +39,9 @@ val ack_bytes : int
 val probe_bytes : int
 val ctrl_bytes : int
 
-(** [reset_ids ()] restarts the id counter (call between independent runs
-    for reproducibility of ids; behaviour never depends on ids). *)
+(** [reset_ids ()] restarts the id counter and empties the free list (call
+    between independent runs for reproducibility of ids; behaviour never
+    depends on ids). *)
 val reset_ids : unit -> unit
 
 val make :
@@ -57,6 +60,16 @@ val make :
   sent_at:float ->
   unit ->
   t
+
+(** [free pkt] returns a dead packet to the free list for reuse by a later
+    {!make}. Only call once the data path is completely done with [pkt]
+    (delivered to its final handler, or dropped), and never while the trace
+    bus is on — trace sinks may retain packets past delivery. *)
+val free : t -> unit
+
+(** [dummy ()] makes an inert placeholder packet (id -1) without consuming
+    an id. Used to fill empty slots in pools and rings; never sent. *)
+val dummy : unit -> t
 
 val kind_str : kind -> string
 (** Short lowercase name ("data", "ack", ...), used by trace sinks. *)

@@ -16,6 +16,10 @@ let count_drop (loc : Trace.loc) (c : Counters.t) ~qpkts (pkt : Packet.t) =
   | Packet.Data -> c.dropped_data_pkts <- c.dropped_data_pkts + 1
   | Packet.Ack | Packet.Probe | Packet.Probe_ack | Packet.Ctrl -> ());
   if Trace.on () then Trace.emit (Trace.Drop { pkt; link = link_of loc; qpkts })
+  else
+    (* A dropped packet leaves the data path here: every caller discards it
+       after this call, so it can be recycled (trace off only; see above). *)
+    Packet.free pkt
 
 let count_enqueue (loc : Trace.loc) (c : Counters.t) ~qpkts (pkt : Packet.t) =
   c.enqueued_pkts <- c.enqueued_pkts + 1;

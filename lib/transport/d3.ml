@@ -52,6 +52,7 @@ type host = {
   nic_bps : float;
   rate : float ref;
   stopped : bool ref;
+  mutable tick_timer : Engine.timer option;  (* per-RTT refresh loop *)
 }
 
 let conf ?(init_rtt = 0.0003) () =
@@ -111,13 +112,24 @@ let refresh h =
         end)
   end
 
+(* The per-RTT refresh loop rides one reschedulable engine timer per flow
+   instead of allocating a closure every round. *)
 let rec tick h =
   if (not !(h.stopped)) && not (Sender_base.completed h.sender) then begin
     refresh h;
-    Engine.schedule ~label:"d3-tick"
-      (Sender_base.engine h.sender)
-      ~delay:h.rtt
-      (fun () -> tick h)
+    let tm =
+      match h.tick_timer with
+      | Some tm -> tm
+      | None ->
+          let tm =
+            Engine.timer ~label:"d3-tick"
+              (Sender_base.engine h.sender)
+              (fun () -> tick h)
+          in
+          h.tick_timer <- Some tm;
+          tm
+    in
+    Engine.timer_schedule (Sender_base.engine h.sender) tm ~delay:h.rtt
   end
 
 let create net ~flow ~routers ~rtt ?conf:(c = conf ()) ~on_complete () =
@@ -145,7 +157,7 @@ let create net ~flow ~routers ~rtt ?conf:(c = conf ()) ~on_complete () =
     on_complete sender ~fct
   in
   let sender = Sender_base.create net ~flow ~conf:c ~hooks ~on_complete () in
-  { sender; routers; rtt; nic_bps; rate; stopped }
+  { sender; routers; rtt; nic_bps; rate; stopped; tick_timer = None }
 
 let start h =
   Sender_base.start h.sender;

@@ -30,7 +30,7 @@ type t = {
   mutable dupacks : int;
   mutable recover_until : int;  (* suppress fast-rtx until cum_ack passes *)
   mutable in_recovery : bool;
-  mutable timer : Engine.cancel option;
+  mutable rto_timer : Engine.timer option;  (* created on first arm *)
   mutable probe_outstanding : bool;
   mutable pace_scheduled : bool;
   mutable next_pace_at : float;
@@ -92,21 +92,25 @@ let rto_value t =
   Float.min t.conf.max_rto backed
 
 let cancel_timer t =
-  match t.timer with
-  | Some c ->
-      c ();
-      t.timer <- None
+  match t.rto_timer with
+  | Some tm -> Engine.timer_cancel t.engine tm
   | None -> ()
 
-(* Forward declarations resolved through mutual recursion. *)
+(* Forward declarations resolved through mutual recursion. The RTO rides a
+   single reschedulable engine timer for the life of the flow: every ack
+   resets it in place instead of allocating a fresh event record. *)
 let rec arm_timer t =
-  if t.timer = None && not t.completed then
-    t.timer <-
-      Some
-        (Engine.schedule_cancellable ~label:"rto" t.engine ~delay:(rto_value t)
-           (fun () ->
-             t.timer <- None;
-             handle_timeout t))
+  if not t.completed then
+    match t.rto_timer with
+    | Some tm ->
+        if not (Engine.timer_pending tm) then
+          Engine.timer_schedule t.engine tm ~delay:(rto_value t)
+    | None ->
+        let tm =
+          Engine.timer ~label:"rto" t.engine (fun () -> handle_timeout t)
+        in
+        t.rto_timer <- Some tm;
+        Engine.timer_schedule t.engine tm ~delay:(rto_value t)
 
 and reset_timer t =
   cancel_timer t;
@@ -353,7 +357,7 @@ let create net ~flow ~conf ?(hooks = default_hooks) ~on_complete () =
     dupacks = 0;
     recover_until = 0;
     in_recovery = false;
-    timer = None;
+    rto_timer = None;
     probe_outstanding = false;
     pace_scheduled = false;
     next_pace_at = 0.;

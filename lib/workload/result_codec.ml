@@ -1,4 +1,4 @@
-let version = 2
+let version = 3
 let magic = "PASE-RES"
 let header_len = String.length magic + 4
 
@@ -84,6 +84,19 @@ let to_json ?(records = false) ?(extra = []) (r : Runner.result) =
             (Printf.sprintf {|"%s":%d|} (json_escape label) n))
         sites;
       Buffer.add_char buf '}');
+  (* GC deltas (profiling runs only; all-zero otherwise). Nondeterministic
+     across processes, like wall time: strip ".gc" before byte-comparing. *)
+  if
+    r.Runner.gc_minor_words <> 0.
+    || r.Runner.gc_promoted_words <> 0.
+    || r.Runner.gc_major_collections <> 0
+  then
+    Buffer.add_string buf
+      (Printf.sprintf
+         {|,"gc":{"minor_words":%s,"promoted_words":%s,"major_collections":%d}|}
+         (json_float r.Runner.gc_minor_words)
+         (json_float r.Runner.gc_promoted_words)
+         r.Runner.gc_major_collections);
   List.iter
     (fun (key, value) ->
       Buffer.add_string buf

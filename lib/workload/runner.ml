@@ -33,6 +33,11 @@ type result = {
   stray_pkts : int;
   peak_heap : int;
   sched_profile : (string * int) list;
+  (* GC deltas over the run, profiling runs only (zero otherwise). Like
+     wall_s they depend on process state: never byte-compare them. *)
+  gc_minor_words : float;
+  gc_promoted_words : float;
+  gc_major_collections : int;
 }
 
 let mss = 1460
@@ -255,6 +260,7 @@ let run ?(profile = false) ?horizon protocol scenario =
         ~censored:true ())
     open_flows;
   let completed_fcts = Fct.completed_fcts fct in
+  let prof = Engine.profile engine in
   {
     scenario = scenario.Scenario.name;
     protocol = name protocol;
@@ -274,6 +280,9 @@ let run ?(profile = false) ?horizon protocol scenario =
     completed = !completed;
     censored = Fct.censored_count fct;
     stray_pkts = counters.Counters.stray_pkts;
-    peak_heap = (Engine.profile engine).Engine.peak_heap;
-    sched_profile = (Engine.profile engine).Engine.sites;
+    peak_heap = prof.Engine.peak_heap;
+    sched_profile = prof.Engine.sites;
+    gc_minor_words = prof.Engine.minor_words;
+    gc_promoted_words = prof.Engine.promoted_words;
+    gc_major_collections = prof.Engine.major_collections;
   }

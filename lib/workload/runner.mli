@@ -38,6 +38,13 @@ type result = {
       (** executions per schedule-site label (see {!Engine.profile});
           empty unless [run ~profile:true]. Deterministic, unlike wall
           time, so it is safe inside the byte-compared result. *)
+  gc_minor_words : float;
+      (** minor-heap words allocated during the run; zero unless
+          [run ~profile:true]. GC deltas depend on process state (heap
+          history, fork vs. serial): byte-compare profiled results only
+          after stripping them. *)
+  gc_promoted_words : float;  (** words promoted to the major heap *)
+  gc_major_collections : int;  (** major GC cycles during the run *)
 }
 
 (** [run ?profile ?horizon protocol scenario] executes one simulation. The

@@ -1,12 +1,13 @@
-(* Event heap: ordering, FIFO tie-breaks, and a sort property. *)
+(* Event heap: ordering, FIFO tie-breaks, compaction, value release in dead
+   slots, and model-based properties against a naive sorted list. *)
 
 let test_empty () =
-  let h = Eheap.create () in
+  let h = Eheap.create ~dummy:0 () in
   Alcotest.(check bool) "empty" true (Eheap.is_empty h);
   Alcotest.(check (option (pair (float 0.) int))) "pop none" None (Eheap.pop h)
 
 let test_ordering () =
-  let h = Eheap.create () in
+  let h = Eheap.create ~dummy:0 () in
   List.iteri
     (fun i t -> Eheap.add h ~time:t ~seq:i i)
     [ 5.0; 1.0; 3.0; 0.5; 4.0 ];
@@ -23,7 +24,7 @@ let test_ordering () =
     "sorted" [ 0.5; 1.0; 3.0; 4.0; 5.0 ] (List.rev !order)
 
 let test_fifo_ties () =
-  let h = Eheap.create () in
+  let h = Eheap.create ~dummy:0 () in
   for i = 0 to 9 do
     Eheap.add h ~time:1.0 ~seq:i i
   done;
@@ -40,19 +41,21 @@ let test_fifo_ties () =
     (List.rev !got)
 
 let test_size_tracking () =
-  let h = Eheap.create () in
+  let h = Eheap.create ~dummy:0 () in
   for i = 1 to 100 do
     Eheap.add h ~time:(float_of_int (100 - i)) ~seq:i i
   done;
   Alcotest.(check int) "size 100" 100 (Eheap.size h);
   ignore (Eheap.pop h);
   Alcotest.(check int) "size 99" 99 (Eheap.size h);
-  Alcotest.(check (option (float 0.))) "peek" (Some 1.) (Eheap.peek_time h)
+  Alcotest.(check (option (float 0.))) "peek" (Some 1.) (Eheap.peek_time h);
+  Alcotest.(check (float 0.)) "min_time" 1. (Eheap.min_time h);
+  Alcotest.(check int) "min_seq" 99 (Eheap.min_seq h)
 
 let test_interleaved () =
   (* Interleave adds and pops; popped keys must be monotone when no smaller
      key is inserted afterwards. *)
-  let h = Eheap.create () in
+  let h = Eheap.create ~dummy:0 () in
   Eheap.add h ~time:2. ~seq:0 0;
   Eheap.add h ~time:1. ~seq:1 1;
   let t1, _ = Option.get (Eheap.pop h) in
@@ -61,12 +64,36 @@ let test_interleaved () =
   let t3, _ = Option.get (Eheap.pop h) in
   Alcotest.(check (list (float 0.))) "order" [ 1.; 2.; 3. ] [ t1; t2; t3 ]
 
+let test_compact () =
+  (* Drop the odd-seq half; the survivors must drain in unchanged relative
+     order. *)
+  let h = Eheap.create ~dummy:(-1) () in
+  for i = 0 to 99 do
+    Eheap.add h ~time:(float_of_int ((i * 37) mod 50)) ~seq:i i
+  done;
+  Eheap.compact h ~keep:(fun ~seq _ -> seq mod 2 = 0);
+  Alcotest.(check int) "half survive" 50 (Eheap.size h);
+  let rec drain acc =
+    match Eheap.pop h with
+    | Some (t, v) -> drain ((t, v) :: acc)
+    | None -> List.rev acc
+  in
+  let got = drain [] in
+  let expect =
+    List.init 50 (fun j ->
+        let i = 2 * j in
+        (float_of_int ((i * 37) mod 50), i))
+    |> List.sort (fun (ta, sa) (tb, sb) ->
+           match compare ta tb with 0 -> compare sa sb | c -> c)
+  in
+  Alcotest.(check (list (pair (float 0.) int))) "survivors in key order" expect got
+
 (* Regression: [pop] used to leave the removed entry reachable at
    [arr.(len)] (and [grow] used to copy dead slots), retaining popped values
-   — event closures, packets — for the life of the heap. Popped values must
-   become collectable as soon as the caller drops them. *)
+   — event closures, packets — for the life of the simulation. Popped values
+   must become collectable as soon as the caller drops them. *)
 let heap_with_popped_values n =
-  let h = Eheap.create () in
+  let h = Eheap.create ~dummy:Bytes.empty () in
   let w = Weak.create n in
   for i = 0 to n - 1 do
     let v = Bytes.make 64 (Char.chr (65 + (i mod 26))) in
@@ -96,11 +123,30 @@ let test_pop_releases_values_after_grow () =
   done;
   Alcotest.(check int) "heap empty" 0 (Eheap.size (Sys.opaque_identity h))
 
+let test_compact_releases_values () =
+  (* Values dropped by [compact] must not be retained in dead tail slots. *)
+  let n = 100 in
+  let h = Eheap.create ~dummy:Bytes.empty () in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let v = Bytes.make 64 'x' in
+    Weak.set w i (Some v);
+    Eheap.add h ~time:(float_of_int (i mod 7)) ~seq:i v
+  done;
+  Eheap.compact h ~keep:(fun ~seq _ -> seq < 10);
+  Gc.full_major ();
+  for i = 10 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "compacted value %d collected" i)
+      false (Weak.check w i)
+  done;
+  Alcotest.(check int) "survivors" 10 (Eheap.size (Sys.opaque_identity h))
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"Eheap drains in sorted key order" ~count:200
     QCheck.(list (float_bound_inclusive 1000.))
     (fun times ->
-      let h = Eheap.create () in
+      let h = Eheap.create ~dummy:0 () in
       List.iteri (fun i t -> Eheap.add h ~time:t ~seq:i i) times;
       let rec drain acc =
         match Eheap.pop h with Some (t, _) -> drain (t :: acc) | None -> List.rev acc
@@ -113,7 +159,7 @@ let prop_fifo_on_equal_keys =
     ~count:100
     QCheck.(int_range 1 50)
     (fun n ->
-      let h = Eheap.create () in
+      let h = Eheap.create ~dummy:0 () in
       for i = 0 to n - 1 do
         Eheap.add h ~time:7. ~seq:i i
       done;
@@ -122,6 +168,68 @@ let prop_fifo_on_equal_keys =
       in
       drain [] = List.init n Fun.id)
 
+(* Model-based property: drive a random interleaving of add / pop / compact
+   against a naive sorted association list keyed by (time, seq). The heap
+   must pop exactly what the model pops, at every step. Times are drawn
+   from a tiny set to force FIFO tie-breaks constantly. *)
+let prop_model_interleaved =
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun t -> `Add (float_of_int t)) (int_bound 5);
+          always `Pop;
+          map (fun k -> `Compact k) (int_bound 3);
+        ])
+  in
+  QCheck.Test.make ~name:"Eheap matches a sorted-list model under add/pop/compact"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 120) op)
+    (fun ops ->
+      let h = Eheap.create ~dummy:(-1) () in
+      let model = ref [] (* sorted [(time, seq, value)] *) in
+      let seq = ref 0 in
+      let insert (t, s, v) l =
+        let rec go = function
+          | [] -> [ (t, s, v) ]
+          | ((t', s', _) as hd) :: tl ->
+              if t < t' || (t = t' && s < s') then (t, s, v) :: hd :: tl
+              else hd :: go tl
+        in
+        go l
+      in
+      List.for_all
+        (fun o ->
+          match o with
+          | `Add time ->
+              let s = !seq in
+              incr seq;
+              Eheap.add h ~time ~seq:s s;
+              model := insert (time, s, s) !model;
+              true
+          | `Pop -> (
+              match (Eheap.pop h, !model) with
+              | None, [] -> true
+              | Some (t, v), (t', s', v') :: tl ->
+                  model := tl;
+                  t = t' && v = v' && Eheap.size h = List.length tl && s' = v'
+              | Some _, [] | None, _ :: _ -> false)
+          | `Compact k ->
+              (* Keep a pseudo-random but deterministic subset. *)
+              let keep ~seq _ = (seq * 7) mod 4 <> k in
+              Eheap.compact h ~keep;
+              model :=
+                List.filter (fun (_, s, v) -> keep ~seq:s v) !model;
+              Eheap.size h = List.length !model)
+        ops
+      &&
+      let rec drain acc =
+        match Eheap.pop h with
+        | Some (t, v) -> drain ((t, v) :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.map (fun (t, _, v) -> (t, v)) !model)
+
 let suite =
   [
     Alcotest.test_case "empty heap" `Quick test_empty;
@@ -129,9 +237,13 @@ let suite =
     Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
     Alcotest.test_case "size tracking" `Quick test_size_tracking;
     Alcotest.test_case "interleaved" `Quick test_interleaved;
+    Alcotest.test_case "compact" `Quick test_compact;
     Alcotest.test_case "pop releases values" `Quick test_pop_releases_values;
     Alcotest.test_case "pop releases values after grow" `Quick
       test_pop_releases_values_after_grow;
+    Alcotest.test_case "compact releases values" `Quick
+      test_compact_releases_values;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_fifo_on_equal_keys;
+    QCheck_alcotest.to_alcotest prop_model_interleaved;
   ]

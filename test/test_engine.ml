@@ -117,6 +117,152 @@ let test_max_events () =
   Engine.run ~max_events:10 e;
   Alcotest.(check int) "budget respected" 10 !count
 
+(* The budget counts every pop, live or dead: a heap full of cancelled
+   events must still make [run ~max_events] terminate. *)
+let test_max_events_counts_dead_pops () =
+  let e = Engine.create () in
+  for i = 1 to 20 do
+    let cancel =
+      Engine.schedule_cancellable e
+        ~delay:(0.01 *. float_of_int i)
+        (fun () -> Alcotest.fail "cancelled event fired")
+    in
+    cancel ()
+  done;
+  let fired = ref false in
+  Engine.schedule e ~delay:1.0 (fun () -> fired := true);
+  Engine.run ~max_events:10 e;
+  Alcotest.(check int) "dead pops consumed the budget" 0
+    (Engine.events_processed e);
+  Alcotest.(check bool) "live event still pending" true (Engine.pending e > 0);
+  Engine.run e;
+  Alcotest.(check bool) "live event fires later" true !fired
+
+(* Mass cancellation must not leave the heap full of corpses: once dead
+   slots outnumber live ones the engine compacts in place. *)
+let test_lazy_compaction () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Engine.schedule e ~delay:1.0 (fun () -> incr count)
+  done;
+  let cancels =
+    List.init 200 (fun _ -> Engine.schedule_cancellable e ~delay:0.5 ignore)
+  in
+  Alcotest.(check int) "all queued" 210 (Engine.pending e);
+  List.iter (fun c -> c ()) cancels;
+  Alcotest.(check bool)
+    (Printf.sprintf "compaction reclaimed dead slots (pending %d)"
+       (Engine.pending e))
+    true
+    (Engine.pending e <= 74);
+  Engine.run e;
+  Alcotest.(check int) "live events unaffected" 10 !count;
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+(* Fired one-shots go back on the free list; a stale cancel handle must
+   not be able to kill the unrelated event that reuses the record. *)
+let test_stale_cancel_handle_is_inert () =
+  let e = Engine.create () in
+  let cancel = Engine.schedule_cancellable e ~delay:0.1 ignore in
+  Engine.run e;
+  let fired = ref false in
+  Engine.schedule e ~delay:0.1 (fun () -> fired := true);
+  cancel ();
+  Engine.run e;
+  Alcotest.(check bool) "recycled event unaffected by stale handle" true !fired
+
+(* Cancelled closures capture packets and flow state: draining the dead
+   slot must drop the closure, not park it in the event pool. *)
+let test_cancelled_closure_released () =
+  let e = Engine.create () in
+  let w : bytes Weak.t = Weak.create 1 in
+  let cancel =
+    let big = Bytes.create 4096 in
+    Weak.set w 0 (Some big);
+    Engine.schedule_cancellable e ~delay:1.0 (fun () ->
+        ignore (Bytes.length big))
+  in
+  cancel ();
+  Engine.run e;
+  Gc.full_major ();
+  Alcotest.(check bool) "cancelled closure collected" false (Weak.check w 0)
+
+(* ---- timers ----------------------------------------------------------- *)
+
+let test_timer_fire_and_rearm () =
+  let e = Engine.create () in
+  let fires = ref [] in
+  let tm = Engine.timer e (fun () -> fires := Engine.now e :: !fires) in
+  Alcotest.(check bool) "fresh timer not pending" false (Engine.timer_pending tm);
+  Engine.timer_schedule e tm ~delay:0.5;
+  Alcotest.(check bool) "armed" true (Engine.timer_pending tm);
+  Engine.run e;
+  Alcotest.(check bool) "fired, no longer pending" false
+    (Engine.timer_pending tm);
+  Engine.timer_schedule e tm ~delay:0.25;
+  Engine.run e;
+  Alcotest.(check (list (float 1e-12)))
+    "same timer fires at both times" [ 0.5; 0.75 ] (List.rev !fires)
+
+let test_timer_reschedule_supersedes () =
+  let e = Engine.create () in
+  let fires = ref [] in
+  let tm = Engine.timer e (fun () -> fires := Engine.now e :: !fires) in
+  Engine.timer_schedule e tm ~delay:1.0;
+  Engine.timer_schedule e tm ~delay:0.5;
+  Engine.run e;
+  Alcotest.(check (list (float 1e-12)))
+    "only the latest schedule fires" [ 0.5 ]
+    (List.rev !fires);
+  Alcotest.(check int) "stale slot not counted as processed" 1
+    (Engine.events_processed e);
+  Alcotest.(check int) "heap fully drained" 0 (Engine.pending e)
+
+let test_timer_cancel_and_rearm () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let tm = Engine.timer e (fun () -> incr count) in
+  Engine.timer_schedule e tm ~delay:1.0;
+  Engine.timer_cancel e tm;
+  Engine.timer_cancel e tm;
+  Alcotest.(check bool) "cancelled" false (Engine.timer_pending tm);
+  Engine.run e;
+  Alcotest.(check int) "cancelled timer does not fire" 0 !count;
+  Engine.timer_schedule e tm ~delay:1.0;
+  Engine.run e;
+  Alcotest.(check int) "re-armed after cancel" 1 !count
+
+(* The RTO pattern: the handler re-arms its own timer. *)
+let test_timer_rearm_in_handler () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let tm_ref = ref None in
+  let tm =
+    Engine.timer e (fun () ->
+        incr count;
+        if !count < 3 then
+          Engine.timer_schedule e (Option.get !tm_ref) ~delay:1.0)
+  in
+  tm_ref := Some tm;
+  Engine.timer_schedule e tm ~delay:1.0;
+  Engine.run e;
+  Alcotest.(check int) "timer chain ran" 3 !count;
+  Alcotest.(check (float 1e-12)) "one RTT apart" 3.0 (Engine.now e)
+
+(* Rescheduling consumes a fresh seq: a superseded-then-re-armed timer
+   is FIFO-ordered by its latest schedule point, not its first. *)
+let test_timer_reschedule_fifo_order () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  let tm = Engine.timer e (fun () -> seen := 'T' :: !seen) in
+  Engine.timer_schedule e tm ~delay:2.0;
+  Engine.schedule e ~delay:1.0 (fun () -> seen := 'A' :: !seen);
+  Engine.timer_schedule e tm ~delay:1.0;
+  Engine.run e;
+  Alcotest.(check (list char))
+    "tie broken by latest schedule order" [ 'A'; 'T' ] (List.rev !seen)
+
 let test_past_scheduling_rejected () =
   let e = Engine.create () in
   Engine.schedule e ~delay:1.0 (fun () ->
@@ -147,6 +293,22 @@ let suite =
     Alcotest.test_case "FIFO ties across chunked runs" `Quick
       test_fifo_ties_across_chunked_runs;
     Alcotest.test_case "max events" `Quick test_max_events;
+    Alcotest.test_case "max events counts dead pops" `Quick
+      test_max_events_counts_dead_pops;
+    Alcotest.test_case "lazy compaction" `Quick test_lazy_compaction;
+    Alcotest.test_case "stale cancel handle is inert" `Quick
+      test_stale_cancel_handle_is_inert;
+    Alcotest.test_case "cancelled closure released" `Quick
+      test_cancelled_closure_released;
+    Alcotest.test_case "timer fire and re-arm" `Quick test_timer_fire_and_rearm;
+    Alcotest.test_case "timer reschedule supersedes" `Quick
+      test_timer_reschedule_supersedes;
+    Alcotest.test_case "timer cancel and re-arm" `Quick
+      test_timer_cancel_and_rearm;
+    Alcotest.test_case "timer re-arm in handler" `Quick
+      test_timer_rearm_in_handler;
+    Alcotest.test_case "timer reschedule FIFO order" `Quick
+      test_timer_reschedule_fifo_order;
     Alcotest.test_case "past scheduling rejected" `Quick test_past_scheduling_rejected;
     Alcotest.test_case "events processed" `Quick test_events_processed;
   ]

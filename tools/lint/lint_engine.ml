@@ -24,7 +24,6 @@ let allowed_files = function
   | "no-wallclock" -> [ "lib/workload/parallel.ml" ]
   | "no-hash-order" -> [ "lib/sim/det_tbl.ml" ]
   | "no-marshal" -> [ "lib/workload/result_codec.ml" ]
-  | "no-obj-magic" -> [ "lib/sim/eheap.ml" ]
   | _ -> []
 
 let normalize_path p = String.map (fun c -> if c = '\\' then '/' else c) p
@@ -274,8 +273,8 @@ let rule_of_ident lid =
   | Longident.Ldot (Longident.Lident "Obj", "magic") ->
       Some
         ( "no-obj-magic",
-          "defeats the type system; only the documented Eheap dummy slot \
-           may use it" )
+          "defeats the type system; keep dummy slots typed (see Eheap's \
+           ~dummy parameter) instead" )
   | _ -> (
       match root_module lid with
       | "Random" ->
