@@ -75,13 +75,32 @@ let find_protocol name =
   | None ->
       Error (Printf.sprintf "unknown protocol %S (see `pase_sim list`)" name)
 
+let fault_rows (r : Runner.result) =
+  if r.Runner.faults_injected = 0 then []
+  else
+    let f v = if Float.is_nan v then "n/a" else Printf.sprintf "%.3f" v in
+    [
+      [ "faults injected"; string_of_int r.Runner.faults_injected ];
+      [ "blackholed pkts"; string_of_int r.Runner.blackholed_pkts ];
+      [ "ctrl msgs lost"; string_of_int r.Runner.ctrl_lost_msgs ];
+      [
+        "link downtime (ms)"; Printf.sprintf "%.3f" (r.Runner.link_downtime_s *. 1e3);
+      ];
+      [
+        "recovery (ms)";
+        (if Float.is_nan r.Runner.recovery_s then "n/a"
+         else Printf.sprintf "%.3f" (r.Runner.recovery_s *. 1e3));
+      ];
+      [ "AFCT inflation"; f r.Runner.afct_inflation ];
+    ]
+
 let print_result (r : Runner.result) =
   Series.print_table
     ~title:
       (Printf.sprintf "%s on %s at %.0f%% load" r.Runner.protocol
          r.Runner.scenario (r.Runner.load *. 100.))
     ~header:[ "metric"; "value" ]
-    [
+    ([
       [ "AFCT (ms)"; Printf.sprintf "%.3f" (r.Runner.afct *. 1e3) ];
       [ "99th pct FCT (ms)"; Printf.sprintf "%.3f" (r.Runner.p99 *. 1e3) ];
       [
@@ -97,6 +116,7 @@ let print_result (r : Runner.result) =
       [ "simulated time (s)"; Printf.sprintf "%.4f" r.Runner.duration ];
       [ "events"; string_of_int r.Runner.events ];
     ]
+    @ fault_rows r)
 
 open Cmdliner
 
@@ -165,6 +185,18 @@ let profile_arg =
      the table / JSON output."
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
+
+let faults_arg =
+  let doc =
+    "Semicolon-separated fault schedule: \
+     $(b,down:a=NODE,b=NODE,at=S[,up=S]), \
+     $(b,flap:a=NODE,b=NODE,at=S,down=S,up=S,count=N), \
+     $(b,crash:node=NODE,at=S[,restart=S]), \
+     $(b,ctrl:at=S,until=S,p=PROB); NODE is host<i>, tor<i>, agg<i>, \
+     core<i> or node<i>. A faulted run also executes the fault-free \
+     baseline to report AFCT inflation."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
 
 (* Parse "flow=42,kind=drop,link=0-3" into per-dimension filter lists.
    An empty list for a dimension means "no filter on it". *)
@@ -247,7 +279,7 @@ let profile_rows (r : Runner.result) =
 
 let run_cmd =
   let action scenario protocol load flows seed no_cache json trace trace_format
-      trace_filter profile =
+      trace_filter profile faults =
     match (find_scenario scenario, find_protocol protocol) with
     | Ok sc, Ok proto ->
         if load <= 0. || load > 1. then `Error (false, "load must be in (0,1]")
@@ -257,9 +289,12 @@ let run_cmd =
             | None -> Ok (None, None, None)
             | Some spec -> parse_trace_filter spec
           in
-          match filter with
-          | Error e -> `Error (false, e)
-          | Ok (kinds, flows_f, links) ->
+          let faults =
+            match faults with None -> Ok [] | Some spec -> Fault.parse spec
+          in
+          match (filter, faults) with
+          | Error e, _ | _, Error e -> `Error (false, e)
+          | Ok (kinds, flows_f, links), Ok fault_events ->
               let trace_oc =
                 match trace with
                 | None -> None
@@ -279,15 +314,27 @@ let run_cmd =
               (* Tracing needs the simulation to actually execute, in this
                  process: skip the cache entirely. *)
               let no_cache = no_cache || trace_oc <> None in
+              let scn =
+                Scenario.with_faults
+                  (sc ~num_flows:flows ~seed ~load)
+                  fault_events
+              in
               let r =
+                (* Fault.parse checks syntax; node refs only resolve against
+                   the topology once the run builds it, so schedule/topology
+                   mismatches surface here as Invalid_argument. *)
                 match
                   Parallel.run_jobs ~jobs:1 ~cache_dir:(cache_dir ~no_cache)
                     ~profile
-                    [ (proto, sc ~num_flows:flows ~seed ~load) ]
+                    [ (proto, scn) ]
                 with
-                | [ r ] -> r
+                | [ r ] -> Ok r
                 | _ -> assert false
+                | exception Invalid_argument e -> Error e
               in
+              match r with
+              | Error e -> `Error (false, e)
+              | Ok r ->
               let trace_summary =
                 match trace_oc with
                 | None -> []
@@ -319,7 +366,7 @@ let run_cmd =
     Term.(
       ret (const action $ scenario_arg $ protocol_arg $ load_arg $ flows_arg
           $ seed_arg $ no_cache_arg $ json_arg $ trace_arg $ trace_format_arg
-          $ trace_filter_arg $ profile_arg))
+          $ trace_filter_arg $ profile_arg $ faults_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol on one scenario") term
 

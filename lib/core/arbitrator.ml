@@ -42,6 +42,15 @@ let remove t ~flow =
 
 let flows t = Hashtbl.length t.entries
 let mem t ~flow = Hashtbl.mem t.entries flow
+let owner t = t.owner
+let allocations t = Hashtbl.length t.results
+
+(* Crash: all soft state vanishes — flow entries and cached allocations.
+   Hosts rebuild it through their periodic re-requests. *)
+let clear t =
+  Hashtbl.reset t.entries;
+  Hashtbl.reset t.results;
+  t.top_counts <- [||]
 
 let expire t ~now ~max_age =
   let stale =

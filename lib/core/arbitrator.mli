@@ -21,6 +21,16 @@ val remove : t -> flow:int -> unit
 val flows : t -> int
 val mem : t -> flow:int -> bool
 
+(** The arbitrating delegate's node id ([-1] if anonymous). *)
+val owner : t -> int
+
+(** Number of flows with a cached allocation from the last [arbitrate]. *)
+val allocations : t -> int
+
+(** Drop all soft state (flow entries, cached allocations) — the effect of
+    a crash of the owning node. Hosts rebuild it via periodic re-requests. *)
+val clear : t -> unit
+
 (** Drop entries not refreshed since [now - max_age] (soft-state expiry for
     lost sources). *)
 val expire : t -> now:float -> max_age:float -> unit

@@ -10,9 +10,14 @@ type flow_state = {
   criterion : unit -> float;
   demand : unit -> float;
   apply : queue:int -> rref_bps:float -> unit;
+  unreachable : (bool -> unit) option;
+      (* notified when remote arbitration becomes (un)reachable *)
   mutable last_queue : int;
   mutable contacted : bool array;  (* per-contact: consulted this round *)
   mutable pruned : bool;  (* some contact was skipped this round *)
+  mutable remote_tried : bool;  (* attempted a msgs>0 contact this round *)
+  mutable remote_heard : bool;  (* ... and at least one answered *)
+  mutable is_unreachable : bool;
   mutable first_round : bool;
       (* a new flow applies partial decisions as responses arrive instead of
          waiting for the farthest arbitrator (§3.1.2: "a flow starts as soon
@@ -32,6 +37,12 @@ type t = {
       (* parent link -> delegated children *)
   flows : (int, flow_state) Hashtbl.t;
   rng : Rng.t;  (* drives control-plane loss injection only *)
+  crashed : bool array;  (* per node: arbitration soft state dropped *)
+  mutable ctrl_loss_override : float option;
+      (* fault-plane loss window; supersedes [cfg.ctrl_loss_prob] while set *)
+  mutable last_restart : float;  (* nan until a node restarts *)
+  mutable restarted_node : int;  (* -1 when no recovery is being timed *)
+  mutable first_grant_s : float;  (* nan until the restarted node regrants *)
   mutable level_of : int array;
   mutable rounds : int;
   mutable running : bool;
@@ -60,6 +71,11 @@ let create engine counters cfg topo ~base_rate_bps =
     virtual_groups = Hashtbl.create 8;
     flows = Hashtbl.create 256;
     rng = Rng.create 0x9a5e;
+    crashed = Array.make (Net.node_count topo.Topology.net) false;
+    ctrl_loss_override = None;
+    last_restart = Float.nan;
+    restarted_node = -1;
+    first_grant_s = Float.nan;
     level_of = node_levels topo;
     rounds = 0;
     running = false;
@@ -243,6 +259,47 @@ let all_arbitrators t =
   Det_tbl.iter (fun _ a -> acc := a :: !acc) t.virtuals;
   !acc
 
+(* ---- fault plane hooks -------------------------------------------------- *)
+
+let arb_alive t arb =
+  let o = Arbitrator.owner arb in
+  o < 0 || not t.crashed.(o)
+
+(* A crashed node loses every arbitrator it runs: the real arbitrators of
+   its outgoing links and any virtual (delegated) arbitrators it owns. The
+   objects survive — emptied — so flow contact lists stay valid; while the
+   node is down, refreshes are not accepted and no allocations are served. *)
+let fail_node t node =
+  if node >= 0 && node < Array.length t.crashed && not t.crashed.(node) then begin
+    t.crashed.(node) <- true;
+    Det_tbl.iter
+      (fun (a, _) arb -> if a = node then Arbitrator.clear arb)
+      t.real;
+    Det_tbl.iter
+      (fun (_, _, tor) arb -> if tor = node then Arbitrator.clear arb)
+      t.virtuals
+  end
+
+let recover_node t node =
+  if node >= 0 && node < Array.length t.crashed && t.crashed.(node) then begin
+    t.crashed.(node) <- false;
+    (* Time-to-first-grant is measured for the first recovery only. *)
+    if Float.is_nan t.first_grant_s && t.restarted_node < 0 then begin
+      t.restarted_node <- node;
+      t.last_restart <- Engine.now t.engine
+    end
+  end
+
+let set_ctrl_loss_override t p = t.ctrl_loss_override <- p
+
+let recovery_s t =
+  if Float.is_nan t.first_grant_s then None else Some t.first_grant_s
+
+let ctrl_loss_prob t =
+  match t.ctrl_loss_override with
+  | Some p -> p
+  | None -> t.cfg.Config.ctrl_loss_prob
+
 (* One arbitration round: refresh (phase A), re-arbitrate (phase B), combine
    and deliver (phase C). Pruning decisions use the previous round's queue
    assignments, matching the one-round information lag of real messages. *)
@@ -257,6 +314,8 @@ let round t =
       let criterion = fs.criterion () in
       let demand = fs.demand () in
       fs.pruned <- false;
+      fs.remote_tried <- false;
+      fs.remote_heard <- false;
       let q_acc = ref 0 in
       Array.iteri
         (fun i ct ->
@@ -279,28 +338,51 @@ let round t =
             if ct.msgs > 0 && Trace.on () then
               Trace.emit
                 (Trace.Ctrl { flow = fs.flow.Flow.id; msgs = ct.msgs });
-            (* Failure injection: a lost request or response simply means
-               this contact contributes nothing this round; the soft state
-               it previously established survives until expiry. *)
-            let lost =
-              ct.msgs > 0
-              && t.cfg.Config.ctrl_loss_prob > 0.
-              && Rng.float t.rng 1.0 < t.cfg.Config.ctrl_loss_prob
-            in
-            if lost then fs.contacted.(i) <- false
+            if ct.msgs > 0 then fs.remote_tried <- true;
+            let live = List.filter (arb_alive t) ct.arbs in
+            if live = [] then begin
+              (* Every arbitrator behind this contact is crashed: the
+                 request is sent but never answered. Previously established
+                 soft state was dropped with the crash. *)
+              fs.contacted.(i) <- false;
+              if ct.msgs > 0 then
+                t.counters.Counters.ctrl_lost <-
+                  t.counters.Counters.ctrl_lost + ct.msgs
+            end
             else begin
-              fs.contacted.(i) <- true;
-              List.iter
-                (fun arb ->
-                  Arbitrator.upsert arb ~flow:fs.flow.Flow.id ~criterion
-                    ~demand_bps:demand ~now;
-                  match Arbitrator.cached arb ~flow:fs.flow.Flow.id with
-                  | Some (q, _) -> q_acc := max !q_acc q
-                  | None -> ())
-                ct.arbs
+              (* Failure injection: a lost request or response simply means
+                 this contact contributes nothing this round; the soft state
+                 it previously established survives until expiry. *)
+              let p = ctrl_loss_prob t in
+              let lost = ct.msgs > 0 && p > 0. && Rng.float t.rng 1.0 < p in
+              if lost then begin
+                fs.contacted.(i) <- false;
+                t.counters.Counters.ctrl_lost <-
+                  t.counters.Counters.ctrl_lost + ct.msgs
+              end
+              else begin
+                fs.contacted.(i) <- true;
+                if ct.msgs > 0 then fs.remote_heard <- true;
+                List.iter
+                  (fun arb ->
+                    Arbitrator.upsert arb ~flow:fs.flow.Flow.id ~criterion
+                      ~demand_bps:demand ~now;
+                    match Arbitrator.cached arb ~flow:fs.flow.Flow.id with
+                    | Some (q, _) -> q_acc := max !q_acc q
+                    | None -> ())
+                  live
+              end
             end
           end)
-        fs.contacts)
+        fs.contacts;
+      (* Remote arbitration reachability: a flow that tried remote contacts
+         and heard from none falls back to unguided (DCTCP) rate control
+         until a response gets through again. *)
+      let unreach = fs.remote_tried && not fs.remote_heard in
+      if unreach <> fs.is_unreachable then begin
+        fs.is_unreachable <- unreach;
+        match fs.unreachable with Some cb -> cb unreach | None -> ()
+      end)
     t.flows;
   (* Phase B: expire soft state that stopped being refreshed, then every
      arbitrator re-runs Algorithm 1 over its flow set. *)
@@ -309,10 +391,23 @@ let round t =
   in
   List.iter
     (fun arb ->
-      Arbitrator.expire arb ~now ~max_age;
-      Arbitrator.arbitrate arb ~num_queues:t.cfg.Config.num_queues
-        ~base_rate_bps:t.base_rate_bps)
+      if arb_alive t arb then begin
+        Arbitrator.expire arb ~now ~max_age;
+        Arbitrator.arbitrate arb ~num_queues:t.cfg.Config.num_queues
+          ~base_rate_bps:t.base_rate_bps
+      end)
     (all_arbitrators t);
+  (* Recovery metric: first round after the (first) restart in which the
+     restarted node serves an allocation again. *)
+  (if t.restarted_node >= 0 && Float.is_nan t.first_grant_s then
+     let regranted =
+       List.exists
+         (fun arb ->
+           Arbitrator.owner arb = t.restarted_node
+           && Arbitrator.allocations arb > 0)
+         (all_arbitrators t)
+     in
+     if regranted then t.first_grant_s <- now -. t.last_restart);
   (* Phase C: combine per-link decisions and deliver after control latency.
      Sorted traversal: apply callbacks are scheduled here, so flow-id order
      fixes the engine's FIFO tie-break for same-time events. *)
@@ -414,7 +509,7 @@ let start t =
 
 let stop t = t.running <- false
 
-let add_flow t ~flow ~criterion ~demand ~apply =
+let add_flow t ~flow ~criterion ~demand ?unreachable ~apply () =
   let contacts = build_contacts t ~flow in
   let fs =
     {
@@ -423,9 +518,13 @@ let add_flow t ~flow ~criterion ~demand ~apply =
       criterion;
       demand;
       apply;
+      unreachable;
       last_queue = 0;
       contacted = Array.make (Array.length contacts) false;
       pruned = false;
+      remote_tried = false;
+      remote_heard = false;
+      is_unreachable = false;
       first_round = true;
     }
   in
@@ -449,7 +548,7 @@ let add_flow t ~flow ~criterion ~demand ~apply =
               q := max !q ql;
               rref := Float.min !rref rl
           | None -> ())
-        ct.arbs;
+        (List.filter (arb_alive t) ct.arbs);
       fs.last_queue <- !q;
       let rref = if !rref = infinity then t.base_rate_bps else !rref in
       apply ~queue:!q ~rref_bps:rref)

@@ -35,17 +35,22 @@ val start : t -> unit
 (** Stop scheduling further rounds. *)
 val stop : t -> unit
 
-(** [add_flow t ~flow ~criterion ~demand ~apply] registers a flow.
-    [criterion]/[demand] are sampled every round; [apply] delivers each
-    (queue, reference-rate) decision. An immediate local-only decision is
-    applied synchronously (flows start without waiting for the network,
-    §3.1.2). *)
+(** [add_flow t ~flow ~criterion ~demand ?unreachable ~apply ()] registers a
+    flow. [criterion]/[demand] are sampled every round; [apply] delivers
+    each (queue, reference-rate) decision. An immediate local-only decision
+    is applied synchronously (flows start without waiting for the network,
+    §3.1.2). [unreachable] is called with [true] when the flow tries remote
+    contacts and none answers (all crashed or every message lost) — the
+    host should fall back to unguided DCTCP rate control — and with [false]
+    once a response gets through again. *)
 val add_flow :
   t ->
   flow:Flow.t ->
   criterion:(unit -> float) ->
   demand:(unit -> float) ->
+  ?unreachable:(bool -> unit) ->
   apply:(queue:int -> rref_bps:float -> unit) ->
+  unit ->
   unit
 
 (** Deregister a finished flow from all its arbitrators. *)
@@ -59,3 +64,30 @@ val arbitrator_count : t -> int
 
 (** The arbitrator of directed link [a -> b], if it exists yet. *)
 val arbitrator_of_link : t -> int -> int -> Arbitrator.t option
+
+(** {1 Fault plane}
+
+    Hooks the fault-injection subsystem drives ({!Fault}). A crashed node
+    drops all arbitration soft state it owns (the real arbitrators of its
+    outgoing links and any delegated virtual arbitrators); while down it
+    accepts no refreshes and serves no allocations, so host re-requests
+    rebuild its state only after recovery. *)
+
+(** Mark a node crashed, dropping the soft state of every arbitrator it
+    owns. Idempotent. *)
+val fail_node : t -> int -> unit
+
+(** Mark a crashed node live again. The first recovery starts the
+    time-to-first-grant clock read by {!recovery_s}. Idempotent. *)
+val recover_node : t -> int -> unit
+
+(** [set_ctrl_loss_override t (Some p)] makes control messages drop with
+    probability [p] (superseding [Config.ctrl_loss_prob]) until
+    [set_ctrl_loss_override t None]. Sampling uses the hierarchy's own
+    seeded stream, so runs replay deterministically. *)
+val set_ctrl_loss_override : t -> float option -> unit
+
+(** Seconds from the first node recovery to the first arbitration round in
+    which that node served an allocation again; [None] if no recovery
+    happened (or none was needed). *)
+val recovery_s : t -> float option

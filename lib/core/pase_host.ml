@@ -11,6 +11,10 @@ type t = {
   mutable is_inter : bool;  (* already running DCTCP laws in a middle queue *)
   mutable pending : (int * float) option;  (* promotion awaiting drain *)
   mutable probes_sent : int;
+  mutable guided : bool;
+      (* false while remote arbitration is unreachable (crash / lost
+         control messages): windows fall back to plain DCTCP laws instead
+         of trusting a stale reference rate *)
   mutable started : bool;
 }
 
@@ -18,6 +22,7 @@ let sender t = t.sender
 let queue t = t.queue
 let rref_bps t = t.rref_bps
 let probes_sent t = t.probes_sent
+let guided t = t.guided
 
 let mss_bits t =
   float_of_int (8 * (Sender_base.conf t.sender).Sender_base.mss)
@@ -31,7 +36,7 @@ let is_top q = q = 0
    part). With [use_ref_rate] off (PASE-DCTCP, Fig 13a) windows evolve by
    plain DCTCP laws and only the packet priority follows arbitration. *)
 let apply_window_policy t =
-  if t.cfg.Config.use_ref_rate then begin
+  if t.cfg.Config.use_ref_rate && t.guided then begin
     if is_top t.queue then begin
       Sender_base.set_cwnd t.sender (rref_pkts t);
       t.is_inter <- false
@@ -84,7 +89,7 @@ let on_ack t sender ~ecn ~newly_acked =
       (Ecn_cc.try_cut t.ecn sender
          ~multiplier:(1. -. (Ecn_cc.alpha t.ecn /. 2.)))
   else if newly_acked > 0 then begin
-    if t.cfg.Config.use_ref_rate then begin
+    if t.cfg.Config.use_ref_rate && t.guided then begin
       if is_top t.queue then Sender_base.set_cwnd sender (rref_pkts t)
       else if is_bottom t t.queue then Sender_base.set_cwnd sender 1.
       else begin
@@ -100,7 +105,7 @@ let on_ack t sender ~ecn ~newly_acked =
       end
     end
     else begin
-      (* PASE-DCTCP: standard DCTCP increase. *)
+      (* PASE-DCTCP, or arbitration unreachable: standard DCTCP increase. *)
       let cwnd = Sender_base.cwnd sender in
       if cwnd < Sender_base.ssthresh sender then
         Sender_base.set_cwnd sender (cwnd +. float_of_int newly_acked)
@@ -162,7 +167,20 @@ let create net hierarchy ~flow ~cfg ~rtt ~nic_bps ?criterion_override ~on_comple
       on_timeout =
         (fun s ->
           let t = self () in
-          if is_top t.queue || not t.cfg.Config.use_probes then `Default
+          if is_top t.queue || (not t.cfg.Config.use_probes) || not t.guided
+          then begin
+            (* The RTO path presumes every outstanding old-priority packet
+               lost (go-back-N), so the promotion reordering guard has
+               nothing left to wait for. Release it here: with zero packets
+               in flight no ack will ever fire the [on_ack] release, and a
+               held guard blocks the retransmissions via [allow_send]. *)
+            (match t.pending with
+            | Some (q, rref) ->
+                t.pending <- None;
+                really_apply t (q, rref)
+            | None -> ());
+            `Default
+          end
           else begin
             (* Parked or lost? Ask with a header-only probe. *)
             t.probes_sent <- t.probes_sent + 1;
@@ -173,7 +191,9 @@ let create net hierarchy ~flow ~cfg ~rtt ~nic_bps ?criterion_override ~on_comple
       base_rto =
         (fun _ ->
           let t = self () in
-          if is_top t.queue then t.cfg.Config.rto_top
+          (* Unguided flows keep the aggressive RTO: with arbitration down
+             they must detect blackholed packets themselves. *)
+          if is_top t.queue || not t.guided then t.cfg.Config.rto_top
           else t.cfg.Config.rto_low);
     }
   in
@@ -197,6 +217,7 @@ let create net hierarchy ~flow ~cfg ~rtt ~nic_bps ?criterion_override ~on_comple
       is_inter = false;
       pending = None;
       probes_sent = 0;
+      guided = true;
       started = false;
     }
   in
@@ -208,6 +229,8 @@ let start t =
     t.started <- true;
     Hierarchy.add_flow t.hierarchy ~flow:(Sender_base.flow t.sender)
       ~criterion:(criterion t) ~demand:(demand t)
-      ~apply:(fun ~queue ~rref_bps -> apply_assignment t ~queue ~rref_bps);
+      ~unreachable:(fun lost -> t.guided <- not lost)
+      ~apply:(fun ~queue ~rref_bps -> apply_assignment t ~queue ~rref_bps)
+      ();
     Sender_base.start t.sender
   end

@@ -9,7 +9,9 @@ type t = {
   mutable ecn_marked_pkts : int;
   mutable delivered_pkts : int;
   mutable ctrl_msgs : int;
+  mutable ctrl_lost : int;
   mutable stray_pkts : int;
+  mutable blackholed_pkts : int;
 }
 
 let create () =
@@ -24,7 +26,9 @@ let create () =
     ecn_marked_pkts = 0;
     delivered_pkts = 0;
     ctrl_msgs = 0;
+    ctrl_lost = 0;
     stray_pkts = 0;
+    blackholed_pkts = 0;
   }
 
 let reset t =
@@ -38,7 +42,9 @@ let reset t =
   t.ecn_marked_pkts <- 0;
   t.delivered_pkts <- 0;
   t.ctrl_msgs <- 0;
-  t.stray_pkts <- 0
+  t.ctrl_lost <- 0;
+  t.stray_pkts <- 0;
+  t.blackholed_pkts <- 0
 
 let loss_rate t =
   let attempts = t.dropped_pkts + t.enqueued_pkts in

@@ -11,7 +11,12 @@ type t = {
   mutable ecn_marked_pkts : int;
   mutable delivered_pkts : int;
   mutable ctrl_msgs : int;  (** arbitration / explicit-rate control messages *)
+  mutable ctrl_lost : int;
+      (** control messages lost to injected loss or a crashed arbitrator *)
   mutable stray_pkts : int;  (** packets delivered with no registered handler *)
+  mutable blackholed_pkts : int;
+      (** packets lost to a down link (in flight at failure, or transmitted
+          into the outage) *)
 }
 
 val create : unit -> t

@@ -4,7 +4,15 @@
    Because the delay is constant and transmissions complete in schedule
    order, propagation events fire in ring order — so the two per-hop
    closures ("link-tx", "link-prop") are allocated once per link at
-   [create] and reused for every packet, instead of once per packet hop. *)
+   [create] and reused for every packet, instead of once per packet hop.
+
+   Fault plane: a link can be administratively [set_up false]. While down,
+   the transmitter stalls (queued packets wait in the qdisc and may
+   overflow it) and everything already on the wire is blackholed — the
+   packet being serialized when the link dropped ([tx_doomed]) and the
+   [doomed_fly] oldest ring entries, whose propagation events still fire on
+   schedule but discard instead of delivering. Senders recover via their
+   normal RTO path. *)
 
 type t = {
   engine : Engine.t;
@@ -12,7 +20,12 @@ type t = {
   rate_bps : float;
   delay_s : float;
   deliver : Packet.t -> unit;
+  counters : Counters.t option;
   mutable busy : bool;
+  mutable up : bool;
+  mutable tx_doomed : bool;  (* packet on the wire head when the link died *)
+  mutable doomed_fly : int;  (* oldest in-flight packets to blackhole *)
+  mutable blackholed : int;
   mutable bytes_txed : int;
   dummy : Packet.t;  (* fills dead slots so the ring retains nothing *)
   mutable txing : Packet.t;  (* the packet being serialized; dummy if none *)
@@ -44,16 +57,30 @@ let fly_pop t =
   t.fly_len <- t.fly_len - 1;
   pkt
 
-let transmit_next t =
-  match t.qdisc.Queue_disc.dequeue () with
-  | None -> t.busy <- false
-  | Some pkt ->
-      t.busy <- true;
-      t.txing <- pkt;
-      let tx_time = float_of_int (8 * pkt.Packet.size) /. t.rate_bps in
-      Engine.schedule ~label:"link-tx" t.engine ~delay:tx_time t.tx_done
+let blackhole t pkt =
+  t.blackholed <- t.blackholed + 1;
+  (match t.counters with
+  | Some c -> c.Counters.blackholed_pkts <- c.Counters.blackholed_pkts + 1
+  | None -> ());
+  if Trace.on () then begin
+    let l = t.qdisc.Queue_disc.loc in
+    Trace.emit
+      (Trace.Blackhole { pkt; link = (l.Trace.from_node, l.Trace.to_node) })
+  end
+  else Packet.free pkt
 
-let create engine ~qdisc ~rate_bps ~delay_s ~deliver =
+let transmit_next t =
+  if not t.up then t.busy <- false
+  else
+    match t.qdisc.Queue_disc.dequeue () with
+    | None -> t.busy <- false
+    | Some pkt ->
+        t.busy <- true;
+        t.txing <- pkt;
+        let tx_time = float_of_int (8 * pkt.Packet.size) /. t.rate_bps in
+        Engine.schedule ~label:"link-tx" t.engine ~delay:tx_time t.tx_done
+
+let create engine ~qdisc ~rate_bps ~delay_s ?counters ~deliver () =
   if rate_bps <= 0. then invalid_arg "Link.create: rate must be positive";
   if delay_s < 0. then invalid_arg "Link.create: negative delay";
   let dummy = Packet.dummy () in
@@ -64,7 +91,12 @@ let create engine ~qdisc ~rate_bps ~delay_s ~deliver =
       rate_bps;
       delay_s;
       deliver;
+      counters;
       busy = false;
+      up = true;
+      tx_doomed = false;
+      doomed_fly = 0;
+      blackholed = 0;
       bytes_txed = 0;
       dummy;
       txing = dummy;
@@ -75,29 +107,63 @@ let create engine ~qdisc ~rate_bps ~delay_s ~deliver =
       prop_done = ignore;
     }
   in
-  t.prop_done <- (fun () -> t.deliver (fly_pop t));
+  t.prop_done <-
+    (fun () ->
+      let pkt = fly_pop t in
+      if t.doomed_fly > 0 then begin
+        t.doomed_fly <- t.doomed_fly - 1;
+        blackhole t pkt
+      end
+      else t.deliver pkt);
   t.tx_done <-
     (fun () ->
       let pkt = t.txing in
       t.txing <- t.dummy;
-      t.bytes_txed <- t.bytes_txed + pkt.Packet.size;
-      (if Trace.on () then
-         let l = t.qdisc.Queue_disc.loc in
-         Trace.emit
-           (Trace.Tx { pkt; link = (l.Trace.from_node, l.Trace.to_node) }));
-      (* Propagation: the head bit pipeline is folded into arrival time;
-         the transmitter is free as soon as the last bit leaves. *)
-      fly_push t pkt;
-      Engine.schedule ~label:"link-prop" t.engine ~delay:t.delay_s t.prop_done;
-      transmit_next t);
+      if t.tx_doomed then begin
+        (* The link dropped while this packet was being serialized: the
+           tail never made it onto the wire. *)
+        t.tx_doomed <- false;
+        blackhole t pkt;
+        transmit_next t
+      end
+      else begin
+        t.bytes_txed <- t.bytes_txed + pkt.Packet.size;
+        (if Trace.on () then
+           let l = t.qdisc.Queue_disc.loc in
+           Trace.emit
+             (Trace.Tx { pkt; link = (l.Trace.from_node, l.Trace.to_node) }));
+        (* Propagation: the head bit pipeline is folded into arrival time;
+           the transmitter is free as soon as the last bit leaves. *)
+        fly_push t pkt;
+        Engine.schedule ~label:"link-prop" t.engine ~delay:t.delay_s
+          t.prop_done;
+        transmit_next t
+      end);
   t
+
+let set_up t up =
+  if up <> t.up then begin
+    t.up <- up;
+    if up then begin
+      if not t.busy then transmit_next t
+    end
+    else begin
+      (* Everything on the wire is lost: the packet mid-serialization and
+         every in-flight packet. Their already-scheduled events still fire
+         (determinism: the event stream never mutates) but discard. *)
+      t.doomed_fly <- t.fly_len;
+      if t.busy then t.tx_doomed <- true
+    end
+  end
 
 let send t pkt =
   t.qdisc.Queue_disc.enqueue pkt;
-  if not t.busy then transmit_next t
+  if (not t.busy) && t.up then transmit_next t
 
 let rate_bps t = t.rate_bps
 let delay_s t = t.delay_s
 let qdisc t = t.qdisc
 let bytes_txed t = t.bytes_txed
 let busy t = t.busy
+let is_up t = t.up
+let blackholed t = t.blackholed

@@ -10,10 +10,13 @@ val create :
   qdisc:Queue_disc.t ->
   rate_bps:float ->
   delay_s:float ->
+  ?counters:Counters.t ->
   deliver:(Packet.t -> unit) ->
+  unit ->
   t
 
-(** [send t pkt] enqueues [pkt] and starts the transmitter if idle. *)
+(** [send t pkt] enqueues [pkt] and starts the transmitter if idle. While the
+    link is down packets accumulate in (and may overflow) the qdisc. *)
 val send : t -> Packet.t -> unit
 
 val rate_bps : t -> float
@@ -24,3 +27,14 @@ val qdisc : t -> Queue_disc.t
 val bytes_txed : t -> int
 
 val busy : t -> bool
+
+(** [set_up t up] changes the administrative state. Taking the link down
+    blackholes the packet being serialized and every in-flight packet
+    (senders recover by RTO); bringing it up restarts the transmitter.
+    Idempotent. Links start up. *)
+val set_up : t -> bool -> unit
+
+val is_up : t -> bool
+
+(** Packets blackholed on this link so far. *)
+val blackholed : t -> int

@@ -103,8 +103,9 @@ let connect t a b ~rate_bps ~delay_s ~qdisc =
     disc.Queue_disc.loc.Trace.from_node <- from;
     disc.Queue_disc.loc.Trace.to_node <- to_;
     let link =
-      Link.create t.engine ~qdisc:disc ~rate_bps ~delay_s ~deliver:(fun pkt ->
-          deliver t pkt to_)
+      Link.create t.engine ~qdisc:disc ~rate_bps ~delay_s ~counters:t.counters
+        ~deliver:(fun pkt -> deliver t pkt to_)
+        ()
     in
     Hashtbl.replace t.directed (from, to_) link;
     let adj = Hashtbl.find t.adjacency from in

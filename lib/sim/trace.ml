@@ -24,8 +24,10 @@ module Kind = struct
     | Delegate
     | Ctrl
     | Alpha
+    | Link_state
+    | Blackhole
 
-  let count = 18
+  let count = 20
 
   let index = function
     | Enqueue -> 0
@@ -46,6 +48,8 @@ module Kind = struct
     | Delegate -> 15
     | Ctrl -> 16
     | Alpha -> 17
+    | Link_state -> 18
+    | Blackhole -> 19
 
   let name = function
     | Enqueue -> "enqueue"
@@ -66,12 +70,14 @@ module Kind = struct
     | Delegate -> "delegate"
     | Ctrl -> "ctrl"
     | Alpha -> "alpha"
+    | Link_state -> "link-state"
+    | Blackhole -> "blackhole"
 
   let all =
     [
       Enqueue; Dequeue; Drop; Mark; Tx; Rx; Stray; Flow_start; Flow_finish;
       Flow_timeout; Cwnd; Rate; Queue_assign; Arb; Arb_alloc; Delegate; Ctrl;
-      Alpha;
+      Alpha; Link_state; Blackhole;
     ]
 
   let of_name s = List.find_opt (fun k -> name k = s) all
@@ -115,6 +121,8 @@ type event =
   | Delegate of { parent : int * int; tor : int; share_bps : float }
   | Ctrl of { flow : int; msgs : int }
   | Alpha of { flow : int; alpha : float }
+  | Link_state of { link : int * int; up : bool }
+  | Blackhole of { pkt : Packet.t; link : int * int }
 
 let kind_of : event -> Kind.t = function
   | Enqueue _ -> Kind.Enqueue
@@ -135,6 +143,8 @@ let kind_of : event -> Kind.t = function
   | Delegate _ -> Kind.Delegate
   | Ctrl _ -> Kind.Ctrl
   | Alpha _ -> Kind.Alpha
+  | Link_state _ -> Kind.Link_state
+  | Blackhole _ -> Kind.Blackhole
 
 let flow_of = function
   | Enqueue { pkt; _ }
@@ -143,7 +153,8 @@ let flow_of = function
   | Mark { pkt; _ }
   | Tx { pkt; _ }
   | Rx { pkt; _ }
-  | Stray { pkt; _ } ->
+  | Stray { pkt; _ }
+  | Blackhole { pkt; _ } ->
       pkt.Packet.flow
   | Flow_start { flow; _ }
   | Flow_finish { flow; _ }
@@ -155,7 +166,7 @@ let flow_of = function
   | Ctrl { flow; _ }
   | Alpha { flow; _ } ->
       flow
-  | Arb _ | Delegate _ -> -1
+  | Arb _ | Delegate _ | Link_state _ -> -1
 
 let link_of = function
   | Enqueue { link; _ }
@@ -164,7 +175,9 @@ let link_of = function
   | Mark { link; _ }
   | Tx { link; _ }
   | Arb { link; _ }
-  | Arb_alloc { link; _ } ->
+  | Arb_alloc { link; _ }
+  | Link_state { link; _ }
+  | Blackhole { link; _ } ->
       Some link
   | Delegate { parent; _ } -> Some parent
   | Rx _ | Stray _ | Flow_start _ | Flow_finish _ | Flow_timeout _ | Cwnd _
@@ -236,6 +249,10 @@ let to_json ~time ev =
     | Ctrl { flow; msgs } -> Printf.sprintf {|"flow":%d,"msgs":%d|} flow msgs
     | Alpha { flow; alpha } ->
         Printf.sprintf {|"flow":%d,"alpha":%s|} flow (json_float alpha)
+    | Link_state { link = a, b; up } ->
+        Printf.sprintf {|"link":[%d,%d],"up":%b|} a b up
+    | Blackhole { pkt; link = a, b } ->
+        Printf.sprintf {|%s,"link":[%d,%d]|} (pkt_fields pkt) a b
   in
   head ^ body ^ "}"
 
@@ -289,6 +306,10 @@ let to_text ~time ev =
       Printf.sprintf "ctrl %.9f flow=%d msgs=%d" time flow msgs
   | Alpha { flow; alpha } ->
       Printf.sprintf "alpha %.9f flow=%d alpha=%g" time flow alpha
+  | Link_state { link = a, b; up } ->
+      Printf.sprintf "link-state %.9f %d>%d up=%b" time a b up
+  | Blackhole { pkt; link = a, b } ->
+      pkt_line "b" pkt (Printf.sprintf " %d>%d" a b)
 
 (* ---- sinks -------------------------------------------------------------- *)
 

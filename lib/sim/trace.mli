@@ -34,6 +34,8 @@ module Kind : sig
     | Delegate
     | Ctrl
     | Alpha
+    | Link_state
+    | Blackhole
 
   val count : int
   val index : t -> int
@@ -79,12 +81,14 @@ type event =
   | Delegate of { parent : int * int; tor : int; share_bps : float }
   | Ctrl of { flow : int; msgs : int }
   | Alpha of { flow : int; alpha : float }
+  | Link_state of { link : int * int; up : bool }
+  | Blackhole of { pkt : Packet.t; link : int * int }
 
 val kind_of : event -> Kind.t
 
 val flow_of : event -> int
 (** Flow id the event concerns, or [-1] for flowless events ([Arb],
-    [Delegate]). Flowless events never pass a flow filter. *)
+    [Delegate], [Link_state]). Flowless events never pass a flow filter. *)
 
 val link_of : event -> (int * int) option
 
@@ -95,7 +99,7 @@ val to_json : time:float -> event -> string
 val to_text : time:float -> event -> string
 (** ns-2-style one-liner: packet events lead with the classic op character
     ([+] enqueue, [-] dequeue, [d] drop, [m] mark, [t] tx, [r] receive,
-    [?] stray); other events lead with the kind name. *)
+    [?] stray, [b] blackhole); other events lead with the kind name. *)
 
 (** {1 Sinks} *)
 

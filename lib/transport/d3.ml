@@ -21,6 +21,11 @@ module Router = struct
   let remove t ~flow = Hashtbl.remove t.entries flow
   let flows t = Hashtbl.length t.entries
 
+  (* Router crash / link outage: reservations at this router are lost and
+     rebuilt from the hosts' per-RTT rate requests. [next_arrival] keeps
+     counting so re-registered flows queue behind surviving FCFS order. *)
+  let clear t = Hashtbl.reset t.entries
+
   let allocation t ~flow =
     let n = Hashtbl.length t.entries in
     if n = 0 then 0.

@@ -24,6 +24,11 @@ module Router : sig
   val remove : t -> flow:int -> unit
   val flows : t -> int
 
+  (** Drop all reservations (router crash / link outage); hosts rebuild
+      them with their per-RTT rate requests. FCFS arrival numbering keeps
+      counting across the outage. *)
+  val clear : t -> unit
+
   (** Rate granted to [flow]: its satisfied reservation (FCFS) plus an
       equal share of the unreserved capacity. *)
   val allocation : t -> flow:int -> float

@@ -28,6 +28,10 @@ module Arbiter = struct
   let remove t ~flow = Hashtbl.remove t.entries flow
   let flows t = Hashtbl.length t.entries
 
+  (* Switch crash / link outage: flow state at this switch is lost; hosts
+     repopulate it through their per-RTT refresh headers. *)
+  let clear t = Hashtbl.reset t.entries
+
   (* Criticality order: earliest deadline first, then shortest remaining,
      then flow id for determinism (PDQ's EDF+SJF tie-breaking). *)
   let compare_entries a b =

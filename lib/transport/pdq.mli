@@ -29,6 +29,10 @@ module Arbiter : sig
   val remove : t -> flow:int -> unit
   val flows : t -> int
 
+  (** Drop all flow state (switch crash / link outage); hosts repopulate
+      it through their per-RTT refresh headers. *)
+  val clear : t -> unit
+
   (** [allocation t ~flow ~rtt ~mss_bits] is the rate granted to [flow],
       0 if paused. *)
   val allocation : t -> flow:int -> rtt:float -> mss_bits:float -> float

@@ -314,12 +314,21 @@ let handle_ack_like t (pkt : Packet.t) =
         t.hooks.on_fast_retransmit t
       end
     end;
-    (* A probe answered "segment missing": it was dropped, not parked. *)
+    (* A probe answered "segment missing": it was dropped, not parked. An
+       expired RTO plus a confirmed hole is a timeout-grade loss signal, so
+       go back N like [default_timeout_action] — marking only the probed
+       segment would leave any other blackholed segment [Inflight] forever,
+       pinning [inflight] above zero. *)
     if
       pkt.Packet.kind = Packet.Probe_ack
       && pkt.Packet.sack < 0
       && pkt.Packet.seq >= t.cum_ack
-    then mark_lost t pkt.Packet.seq;
+    then begin
+      for s = t.cum_ack to t.next_new - 1 do
+        mark_lost t s
+      done;
+      t.in_recovery <- false
+    end;
     t.hooks.on_ack t ~ecn:pkt.Packet.ecn_echo ~newly_acked:!newly;
     if t.cum_ack >= t.flow.Flow.size_pkts then complete t else try_send t
   end

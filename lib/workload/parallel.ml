@@ -84,6 +84,7 @@ let scenario_key (s : Scenario.t) =
       Printf.sprintf "flows=%d" s.Scenario.num_flows;
       Printf.sprintf "bg=%d" s.Scenario.background_flows;
       Printf.sprintf "seed=%d" s.Scenario.seed;
+      "faults=" ^ Fault.spec_key s.Scenario.faults;
     ]
 
 let job_key ?horizon ?(profile = false) proto scenario =

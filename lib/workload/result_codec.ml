@@ -1,4 +1,4 @@
-let version = 3
+let version = 4
 let magic = "PASE-RES"
 let header_len = String.length magic + 4
 
@@ -73,6 +73,17 @@ let to_json ?(records = false) ?(extra = []) (r : Runner.result) =
        (json_float r.Runner.duration)
        r.Runner.events r.Runner.completed r.Runner.censored
        r.Runner.stray_pkts r.Runner.peak_heap);
+  (* Fault-plane metrics: always emitted so the schema is stable; all-zero /
+     null for fault-free runs. *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|,"blackholed_pkts":%d,"ctrl_lost":%d,"faults":{"injected":%d,"link_downtime_s":%s,"recovery_s":%s,"afct_baseline":%s,"afct_inflation":%s}|}
+       r.Runner.blackholed_pkts r.Runner.ctrl_lost_msgs
+       r.Runner.faults_injected
+       (json_float r.Runner.link_downtime_s)
+       (json_float r.Runner.recovery_s)
+       (json_float r.Runner.afct_baseline)
+       (json_float r.Runner.afct_inflation));
   (match r.Runner.sched_profile with
   | [] -> ()
   | sites ->

@@ -31,6 +31,14 @@ type result = {
   completed : int;
   censored : int;
   stray_pkts : int;
+  (* Fault plane: all zero / nan for fault-free runs. *)
+  faults_injected : int;
+  blackholed_pkts : int;
+  ctrl_lost_msgs : int;
+  link_downtime_s : float;
+  recovery_s : float;  (* nan when no crash recovered *)
+  afct_baseline : float;  (* fault-free AFCT of the same scenario; nan if n/a *)
+  afct_inflation : float;  (* afct /. afct_baseline; nan if n/a *)
   peak_heap : int;
   sched_profile : (string * int) list;
   (* GC deltas over the run, profiling runs only (zero otherwise). Like
@@ -76,7 +84,14 @@ let qdisc_for protocol counters ~rtt =
           ~limit_pkts:cfg.Config.queue_limit_pkts
           ~mark_threshold:(mark_threshold_for rate_bps)
 
-let run ?(profile = false) ?horizon protocol scenario =
+let rec run ?(profile = false) ?horizon protocol scenario =
+  (* Fault-free baseline for AFCT inflation, run first so the faulted run's
+     process-global state (packet ids, trace clock) is the fresh one.
+     Skipped under tracing: the baseline's events would pollute the sinks. *)
+  let afct_baseline =
+    if scenario.Scenario.faults = [] || Trace.on () then nan
+    else (run ?horizon protocol (Scenario.with_faults scenario [])).afct
+  in
   Packet.reset_ids ();
   let engine = Engine.create () in
   Engine.set_profiling engine profile;
@@ -101,6 +116,47 @@ let run ?(profile = false) ?horizon protocol scenario =
   in
   let pdq_arbs : (int * int, Pdq.Arbiter.t) Hashtbl.t = Hashtbl.create 32 in
   let d3_routers : (int * int, D3.Router.t) Hashtbl.t = Hashtbl.create 32 in
+  let fault_plane =
+    match scenario.Scenario.faults with
+    | [] -> None
+    | events ->
+        let on_crash node =
+          (match hierarchy with
+          | Some h -> Hierarchy.fail_node h node
+          | None -> ());
+          (* A crashed switch also loses any PDQ/D3 control state it runs
+             (arbiters/routers of its outgoing links). *)
+          Det_tbl.iter
+            (fun (a, _) arb -> if a = node then Pdq.Arbiter.clear arb)
+            pdq_arbs;
+          Det_tbl.iter
+            (fun (a, _) r -> if a = node then D3.Router.clear r)
+            d3_routers
+        in
+        let on_restart node =
+          match hierarchy with
+          | Some h -> Hierarchy.recover_node h node
+          | None -> ()
+        in
+        let on_ctrl_loss p =
+          match hierarchy with
+          | Some h -> Hierarchy.set_ctrl_loss_override h p
+          | None -> ()
+        in
+        let on_link a b ~up =
+          if not up then
+            List.iter
+              (fun key ->
+                (match Hashtbl.find_opt pdq_arbs key with
+                | Some arb -> Pdq.Arbiter.clear arb
+                | None -> ());
+                match Hashtbl.find_opt d3_routers key with
+                | Some r -> D3.Router.clear r
+                | None -> ())
+              [ (a, b); (b, a) ]
+        in
+        Some (Fault.create topo ~on_crash ~on_restart ~on_ctrl_loss ~on_link events)
+  in
   let d3_routers_for ~flow src dst =
     let rec links acc = function
       | a :: (b :: _ as rest) ->
@@ -247,8 +303,10 @@ let run ?(profile = false) ?horizon protocol scenario =
   let horizon =
     match horizon with Some h -> h | None -> last_arrival +. 5.0
   in
+  (match fault_plane with Some fp -> Fault.arm fp | None -> ());
   Engine.run ~until:horizon engine;
   (match hierarchy with Some h -> Hierarchy.stop h | None -> ());
+  (match fault_plane with Some fp -> Fault.finish fp | None -> ());
   let end_time = Engine.now engine in
   (* Flows still open at the horizon are censored. Sorted traversal: the
      Fct.add order below is the record order in the published result. *)
@@ -261,12 +319,26 @@ let run ?(profile = false) ?horizon protocol scenario =
     open_flows;
   let completed_fcts = Fct.completed_fcts fct in
   let prof = Engine.profile engine in
+  let afct =
+    if completed_fcts = [] then nan else Summary.mean completed_fcts
+  in
+  let link_downtime_s =
+    match fault_plane with
+    | Some fp -> (Fault.stats fp).Fault.downtime_s
+    | None -> 0.
+  in
+  let recovery_s =
+    match hierarchy with
+    | Some h -> (
+        match Hierarchy.recovery_s h with Some s -> s | None -> nan)
+    | None -> nan
+  in
   {
     scenario = scenario.Scenario.name;
     protocol = name protocol;
     load = scenario.Scenario.load;
     fct;
-    afct = (if completed_fcts = [] then nan else Summary.mean completed_fcts);
+    afct;
     p99 =
       (if completed_fcts = [] then nan else Summary.percentile 99. completed_fcts);
     app_throughput = Fct.deadline_met_fraction fct;
@@ -280,6 +352,13 @@ let run ?(profile = false) ?horizon protocol scenario =
     completed = !completed;
     censored = Fct.censored_count fct;
     stray_pkts = counters.Counters.stray_pkts;
+    faults_injected = Fault.count scenario.Scenario.faults;
+    blackholed_pkts = counters.Counters.blackholed_pkts;
+    ctrl_lost_msgs = counters.Counters.ctrl_lost;
+    link_downtime_s;
+    recovery_s;
+    afct_baseline;
+    afct_inflation = afct /. afct_baseline;
     peak_heap = prof.Engine.peak_heap;
     sched_profile = prof.Engine.sites;
     gc_minor_words = prof.Engine.minor_words;

@@ -33,6 +33,20 @@ type result = {
   stray_pkts : int;
       (** packets delivered with no registered handler or routed into a dead
           end — nonzero means misrouted traffic, which should fail loudly *)
+  faults_injected : int;  (** events in the scenario's fault schedule *)
+  blackholed_pkts : int;  (** packets lost to down links *)
+  ctrl_lost_msgs : int;
+      (** control messages lost to injected loss or crashed arbitrators *)
+  link_downtime_s : float;
+      (** total link downtime, summed per undirected pair *)
+  recovery_s : float;
+      (** time from the first arbitrator-node recovery to its first
+          re-served allocation; [nan] when no crash recovered *)
+  afct_baseline : float;
+      (** AFCT of the fault-free run of the same scenario; [nan] for
+          fault-free or traced runs (the baseline sub-run is skipped under
+          tracing so its events don't pollute the sinks) *)
+  afct_inflation : float;  (** [afct /. afct_baseline]; [nan] if n/a *)
   peak_heap : int;  (** peak engine event-heap depth over the run *)
   sched_profile : (string * int) list;
       (** executions per schedule-site label (see {!Engine.profile});
@@ -50,5 +64,9 @@ type result = {
 (** [run ?profile ?horizon protocol scenario] executes one simulation. The
     run ends when every measured flow completes or at [horizon] (default:
     last arrival + 5 s); unfinished measured flows are recorded as censored.
-    [profile] (default false) enables per-site engine profiling. *)
+    [profile] (default false) enables per-site engine profiling.
+
+    A non-empty [scenario.faults] schedule is armed on the engine before
+    the run and first triggers an unprofiled fault-free sub-run of the same
+    scenario to measure [afct_baseline] (skipped while tracing). *)
 val run : ?profile:bool -> ?horizon:float -> protocol -> Scenario.t -> result

@@ -14,7 +14,10 @@ type t = {
   num_flows : int;
   background_flows : int;
   seed : int;
+  faults : Fault.event list;
 }
+
+let with_faults t faults = { t with faults }
 
 type flow_spec = {
   src : int;
@@ -46,6 +49,7 @@ let left_right ?(num_flows = 1000) ?(seed = 1) ~load () =
     num_flows;
     background_flows = 2;
     seed;
+    faults = [];
   }
 
 let deadline_intra_rack ?(num_flows = 800) ?(seed = 1) ~load () =
@@ -58,6 +62,7 @@ let deadline_intra_rack ?(num_flows = 800) ?(seed = 1) ~load () =
     num_flows;
     background_flows = 2;
     seed;
+    faults = [];
   }
 
 let intra_rack_medium ?(num_flows = 800) ?(seed = 1) ~load () =
@@ -70,6 +75,7 @@ let intra_rack_medium ?(num_flows = 800) ?(seed = 1) ~load () =
     num_flows;
     background_flows = 2;
     seed;
+    faults = [];
   }
 
 let worker_aggregator ?(hosts = 40) ?aggregators ?(num_flows = 1000) ?(seed = 1)
@@ -88,6 +94,7 @@ let worker_aggregator ?(hosts = 40) ?aggregators ?(num_flows = 1000) ?(seed = 1)
     num_flows;
     background_flows = 0;
     seed;
+    faults = [];
   }
 
 let worker_uniform ?(hosts = 40) ?(num_flows = 1000) ?(seed = 1) ~load () =
@@ -100,6 +107,7 @@ let worker_uniform ?(hosts = 40) ?(num_flows = 1000) ?(seed = 1) ~load () =
     num_flows;
     background_flows = 0;
     seed;
+    faults = [];
   }
 
 let empirical ~dist ?(hosts = 40) ?(num_flows = 400) ?(seed = 1) ~load () =
@@ -112,6 +120,7 @@ let empirical ~dist ?(hosts = 40) ?(num_flows = 400) ?(seed = 1) ~load () =
     num_flows;
     background_flows = 0;
     seed;
+    faults = [];
   }
 
 let web_search ?hosts ?num_flows ?seed ~load () =
@@ -130,6 +139,7 @@ let fat_tree_uniform ?(k = 4) ?(num_flows = 1000) ?(seed = 1) ~load () =
     num_flows;
     background_flows = 2;
     seed;
+    faults = [];
   }
 
 let testbed ?(num_flows = 1000) ?(seed = 1) ~load () =
@@ -142,6 +152,7 @@ let testbed ?(num_flows = 1000) ?(seed = 1) ~load () =
     num_flows;
     background_flows = 1;
     seed;
+    faults = [];
   }
 
 (* Bottleneck against which the offered load is measured:

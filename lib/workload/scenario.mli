@@ -30,7 +30,15 @@ type t = {
   num_flows : int;  (** measured (short) flows *)
   background_flows : int;  (** long-lived flows started at t = 0 *)
   seed : int;
+  faults : Fault.event list;
+      (** declarative fault schedule, armed by {!Runner.run}; empty for all
+          builders — attach one with {!with_faults} *)
 }
+
+(** [with_faults t events] is [t] with the fault schedule replaced. The
+    schedule is part of the scenario identity: it feeds the result-cache
+    key and the fault-free baseline is the same scenario with [[]]. *)
+val with_faults : t -> Fault.event list -> t
 
 type flow_spec = {
   src : int;

@@ -97,7 +97,8 @@ let test_expiry_cleans_dead_flows () =
   Hierarchy.add_flow hier ~flow:f1
     ~criterion:(fun () -> 10.)
     ~demand:(fun () -> 1e9)
-    ~apply:(fun ~queue:_ ~rref_bps:_ -> ());
+    ~apply:(fun ~queue:_ ~rref_bps:_ -> ())
+    ();
   let arb =
     match Hierarchy.arbitrator_of_link hier h.(0) (Topology.tor_of topo h.(0)) with
     | Some a -> a

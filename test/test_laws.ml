@@ -137,7 +137,8 @@ let test_hierarchy_latency_ordering () =
     Hierarchy.add_flow hier ~flow
       ~criterion:(fun () -> 100.)
       ~demand:(fun () -> 1e9)
-      ~apply:(fun ~queue:_ ~rref_bps:_ -> times := Engine.now e :: !times);
+      ~apply:(fun ~queue:_ ~rref_bps:_ -> times := Engine.now e :: !times)
+      ();
     Engine.run ~until:0.002 e;
     Hierarchy.stop hier;
     (* The flow is added between rounds; its first full round fires at

@@ -13,6 +13,7 @@ let test_link_timing () =
       ~qdisc:(Queue_disc.droptail c ~limit_pkts:10)
       ~rate_bps:1e9 ~delay_s:10e-6
       ~deliver:(fun p -> arrivals := (Engine.now e, p.Packet.seq) :: !arrivals)
+      ()
   in
   (* 1500 B at 1 Gbps = 12 us serialization + 10 us propagation = 22 us. *)
   Link.send link (mk ~seq:0 ());
@@ -31,6 +32,7 @@ let test_link_pipelining () =
       ~qdisc:(Queue_disc.droptail c ~limit_pkts:10)
       ~rate_bps:1e9 ~delay_s:10e-6
       ~deliver:(fun p -> arrivals := (Engine.now e, p.Packet.seq) :: !arrivals)
+      ()
   in
   (* Two back-to-back packets: second is serialized right after the first,
      so it arrives exactly one serialization time later. *)
@@ -52,6 +54,7 @@ let test_link_respects_queue_priority () =
       ~qdisc:(Prio_queue.create c ~bands:2 ~limit_pkts:10 ~mark_threshold:99)
       ~rate_bps:1e9 ~delay_s:0.
       ~deliver:(fun p -> arrivals := p.Packet.seq :: !arrivals)
+      ()
   in
   (* First packet seizes the transmitter; among the queued rest, the
      high-priority one must leave ahead of earlier low-priority arrivals. *)

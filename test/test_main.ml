@@ -21,5 +21,6 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("trace", Test_trace.suite);
       ("behaviours", Test_behaviours.suite);
+      ("faults", Test_faults.suite);
       ("laws", Test_laws.suite);
     ]

@@ -63,6 +63,7 @@ let add_static_flow hier ~flow ~remaining ~demand ~assignments =
     ~criterion:(fun () -> float_of_int remaining)
     ~demand:(fun () -> demand)
     ~apply:(fun ~queue ~rref_bps -> assignments := (queue, rref_bps) :: !assignments)
+    ()
 
 let test_hierarchy_intra_rack_no_messages () =
   let cfg = Config.default in

@@ -9,6 +9,7 @@ let rig () =
       ~qdisc:(Queue_disc.droptail c ~limit_pkts:1000)
       ~rate_bps:1e9 ~delay_s:0.
       ~deliver:(fun _ -> incr arrivals)
+      ()
   in
   (e, link)
 
