@@ -291,7 +291,7 @@ let cdf_figure ~title ~protocols ~columns ~scenario =
   let points = 20 in
   let cdfs =
     List.map
-      (fun r -> Summary.cdf ~points (Fct.completed_fcts r.Runner.fct))
+      (fun r -> Fct.cdf ~points r.Runner.fct)
       results
   in
   let rows =
@@ -787,7 +787,7 @@ let micro () =
         in
         [ name; est ] :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (List.compare String.compare)
   in
   Series.print_table
     ~title:"Micro-benchmarks (ns per operation, monotonic clock OLS)"

@@ -103,6 +103,7 @@ let print_result (r : Runner.result) =
     ([
       [ "AFCT (ms)"; Printf.sprintf "%.3f" (r.Runner.afct *. 1e3) ];
       [ "99th pct FCT (ms)"; Printf.sprintf "%.3f" (r.Runner.p99 *. 1e3) ];
+      [ "99.9th pct FCT (ms)"; Printf.sprintf "%.3f" (r.Runner.p999 *. 1e3) ];
       [
         "deadline met";
         (if Float.is_nan r.Runner.app_throughput then "n/a"
@@ -116,6 +117,20 @@ let print_result (r : Runner.result) =
       [ "simulated time (s)"; Printf.sprintf "%.4f" r.Runner.duration ];
       [ "events"; string_of_int r.Runner.events ];
     ]
+    @ (match Fct.sketch_info r.Runner.fct with
+      | None -> []
+      | Some sk ->
+          [
+            [
+              "stats mode";
+              Printf.sprintf "streaming (t-digest delta=%.0f, %d centroids)"
+                sk.Fct.sk_delta sk.Fct.sk_centroids;
+            ];
+            [
+              "p99 rank error";
+              Printf.sprintf "%.4f" (Fct.quantile_rank_error r.Runner.fct 99.);
+            ];
+          ])
     @ fault_rows r)
 
 open Cmdliner
@@ -185,6 +200,27 @@ let profile_arg =
      the table / JSON output."
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
+
+let stream_results_arg =
+  let doc =
+    "Spill one JSON object per flow record to $(docv) (JSONL) as the run \
+     executes, and switch to bounded-memory streaming statistics (exact \
+     Welford means, t-digest percentiles within a documented rank-error \
+     bound). Disables the result cache for this run (a cached result has \
+     no spill)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stream-results" ] ~docv:"FILE" ~doc)
+
+let exact_stats_arg =
+  let doc =
+    "With $(b,--stream-results): keep the exact in-memory statistics \
+     (byte-identical to a plain run) while still spilling records. Without \
+     $(b,--stream-results) this is the default and has no effect."
+  in
+  Arg.(value & flag & info [ "exact-stats" ] ~doc)
 
 let faults_arg =
   let doc =
@@ -279,7 +315,7 @@ let profile_rows (r : Runner.result) =
 
 let run_cmd =
   let action scenario protocol load flows seed no_cache json trace trace_format
-      trace_filter profile faults =
+      trace_filter profile faults stream_results exact_stats =
     match (find_scenario scenario, find_protocol protocol) with
     | Ok sc, Ok proto ->
         if load <= 0. || load > 1. then `Error (false, "load must be in (0,1]")
@@ -323,14 +359,36 @@ let run_cmd =
                 (* Fault.parse checks syntax; node refs only resolve against
                    the topology once the run builds it, so schedule/topology
                    mismatches surface here as Invalid_argument. *)
-                match
-                  Parallel.run_jobs ~jobs:1 ~cache_dir:(cache_dir ~no_cache)
-                    ~profile
-                    [ (proto, scn) ]
-                with
-                | [ r ] -> Ok r
-                | _ -> assert false
-                | exception Invalid_argument e -> Error e
+                match stream_results with
+                | None -> (
+                    match
+                      Parallel.run_jobs ~jobs:1
+                        ~cache_dir:(cache_dir ~no_cache) ~profile
+                        [ (proto, scn) ]
+                    with
+                    | [ r ] -> Ok r
+                    | _ -> assert false
+                    | exception Invalid_argument e -> Error e)
+                | Some file -> (
+                    (* The spill sink needs the simulation to execute here,
+                       record by record: bypass the pool and the cache. *)
+                    let oc = open_out file in
+                    let stats =
+                      if exact_stats then `Exact else `Streaming
+                    in
+                    match
+                      Fun.protect
+                        ~finally:(fun () -> close_out_noerr oc)
+                        (fun () ->
+                          Runner.run ~profile ~stats
+                            ~on_record:(fun rec_ ->
+                              output_string oc
+                                (Result_codec.record_to_json rec_);
+                              output_char oc '\n')
+                            proto scn)
+                    with
+                    | r -> Ok r
+                    | exception Invalid_argument e -> Error e)
               in
               match r with
               | Error e -> `Error (false, e)
@@ -347,16 +405,25 @@ let run_cmd =
                       ("trace_events", string_of_int emitted);
                     ]
               in
+              let extra =
+                trace_summary
+                @
+                match stream_results with
+                | None -> []
+                | Some file ->
+                    [
+                      ("stream_results_file", Printf.sprintf "%S" file);
+                      ("stream_results_records", string_of_int (Fct.count r.Runner.fct));
+                    ]
+              in
               if json then
-                print_endline (Result_codec.to_json ~extra:trace_summary r)
+                print_endline (Result_codec.to_json ~extra r)
               else begin
                 print_result r;
                 List.iter
                   (fun row -> print_endline (String.concat "  " row))
                   (profile_rows r);
-                List.iter
-                  (fun (k, v) -> Printf.printf "%s  %s\n" k v)
-                  trace_summary
+                List.iter (fun (k, v) -> Printf.printf "%s  %s\n" k v) extra
               end;
               `Ok ()
         end
@@ -366,7 +433,8 @@ let run_cmd =
     Term.(
       ret (const action $ scenario_arg $ protocol_arg $ load_arg $ flows_arg
           $ seed_arg $ no_cache_arg $ json_arg $ trace_arg $ trace_format_arg
-          $ trace_filter_arg $ profile_arg $ faults_arg))
+          $ trace_filter_arg $ profile_arg $ faults_arg $ stream_results_arg
+          $ exact_stats_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol on one scenario") term
 

@@ -125,7 +125,7 @@ let finalize t =
   let neighbours =
     Array.init n (fun i ->
         let adj = !(Hashtbl.find t.adjacency i) in
-        List.sort compare (List.map fst adj))
+        List.sort Int.compare (List.map fst adj))
   in
   for dst = 0 to n - 1 do
     let dist = Array.make n max_int in

@@ -9,84 +9,289 @@ type record = {
   task : int option;
 }
 
-type t = { mutable records : record list; mutable n : int; mutable censored_n : int }
+(* Streaming aggregates: constant memory in the flow count. Completed
+   (non-censored) FCTs and slowdowns each get an exact Welford accumulator
+   plus a t-digest for quantiles; a seeded reservoir of whole records is
+   the exact-sample fallback; deadline and task aggregates are maintained
+   incrementally (both are exact). No closures anywhere: the whole value
+   must survive Result_codec's Marshal round-trip. *)
+type stream = {
+  fcts : Welford.t;
+  fct_sketch : Tdigest.t;
+  slow : Welford.t;
+  slow_sketch : Tdigest.t;
+  sample : record Reservoir.t;
+  mutable deadline_met : int;
+  mutable deadline_total : int;
+  (* task id -> (first member start, last member end, any member censored) *)
+  tasks : (int, float * float * bool) Hashtbl.t;
+}
 
-let create () = { records = []; n = 0; censored_n = 0 }
+type store = Exact of { mutable records : record list } | Stream of stream
+type t = { store : store; mutable n : int; mutable censored_n : int }
+
+let create () = { store = Exact { records = [] }; n = 0; censored_n = 0 }
+
+let default_reservoir = 2048
+let default_delta = 200.
+let default_seed = 0x7a5e
+
+let create_streaming ?(reservoir = default_reservoir) ?(delta = default_delta)
+    ?(seed = default_seed) () =
+  {
+    store =
+      Stream
+        {
+          fcts = Welford.create ();
+          fct_sketch = Tdigest.create ~delta ();
+          slow = Welford.create ();
+          slow_sketch = Tdigest.create ~delta ();
+          sample = Reservoir.create ~k:reservoir ~seed;
+          deadline_met = 0;
+          deadline_total = 0;
+          tasks = Hashtbl.create 16;
+        };
+    n = 0;
+    censored_n = 0;
+  }
+
+let mode t = match t.store with Exact _ -> `Exact | Stream _ -> `Streaming
+
+let stream_observe s r =
+  Reservoir.add s.sample r;
+  (match r.deadline with
+  | Some d ->
+      s.deadline_total <- s.deadline_total + 1;
+      if (not r.censored) && r.fct <= d then s.deadline_met <- s.deadline_met + 1
+  | None -> ());
+  if not r.censored then begin
+    Welford.add s.fcts r.fct;
+    Tdigest.add s.fct_sketch r.fct;
+    match r.ideal with
+    | Some ideal when ideal > 0. ->
+        Welford.add s.slow (r.fct /. ideal);
+        Tdigest.add s.slow_sketch (r.fct /. ideal)
+    | _ -> ()
+  end;
+  match r.task with
+  | None -> ()
+  | Some task ->
+      let first_start, last_end, censored =
+        try Hashtbl.find s.tasks task
+        with Not_found -> (infinity, neg_infinity, false)
+      in
+      Hashtbl.replace s.tasks task
+        ( Float.min first_start r.start_time,
+          Float.max last_end (r.start_time +. r.fct),
+          censored || r.censored )
+
+let add_record t r =
+  (match t.store with
+  | Exact e -> e.records <- r :: e.records
+  | Stream s -> stream_observe s r);
+  t.n <- t.n + 1;
+  if r.censored then t.censored_n <- t.censored_n + 1
 
 let add t ~flow ~size_pkts ~start_time ~fct ?deadline ?(censored = false)
     ?ideal ?task () =
-  t.records <-
+  add_record t
     { flow; size_pkts; start_time; fct; deadline; censored; ideal; task }
-    :: t.records;
-  t.n <- t.n + 1;
-  if censored then t.censored_n <- t.censored_n + 1
 
-let records t = List.rev t.records
+let records t =
+  match t.store with
+  | Exact e -> List.rev e.records
+  | Stream s ->
+      (* The reservoir's retained sample, in flow order for stable output. *)
+      List.sort
+        (fun a b -> Int.compare a.flow b.flow)
+        (Reservoir.sample s.sample)
+
 let count t = t.n
 let censored_count t = t.censored_n
 
 let completed_fcts t =
-  List.filter_map
-    (fun r -> if r.censored then None else Some r.fct)
-    t.records
+  match t.store with
+  | Exact e ->
+      List.filter_map (fun r -> if r.censored then None else Some r.fct) e.records
+  | Stream _ ->
+      List.filter_map
+        (fun r -> if r.censored then None else Some r.fct)
+        (records t)
 
-let afct t = Summary.mean (completed_fcts t)
-let percentile t p = Summary.percentile p (completed_fcts t)
+let afct t =
+  match t.store with
+  | Exact _ -> Summary.mean (completed_fcts t)
+  | Stream s -> Welford.mean s.fcts
+
+let percentile t p =
+  match t.store with
+  | Exact _ -> Summary.percentile p (completed_fcts t)
+  | Stream s ->
+      if p < 0. || p > 100. then
+        invalid_arg "Fct.percentile: p out of range";
+      if Tdigest.count s.fct_sketch = 0 then nan
+      else Tdigest.quantile s.fct_sketch (p /. 100.)
+
+let cdf ?(points = 100) t =
+  match t.store with
+  | Exact _ -> Summary.cdf ~points (completed_fcts t)
+  | Stream s ->
+      if Tdigest.count s.fct_sketch = 0 then []
+      else
+        List.init points (fun i ->
+            let q = float_of_int (i + 1) /. float_of_int points in
+            (Tdigest.quantile s.fct_sketch q, q))
+
+let quantile_rank_error t p =
+  match t.store with
+  | Exact _ -> 0.
+  | Stream s ->
+      if Tdigest.count s.fct_sketch = 0 then nan
+      else Tdigest.rank_error s.fct_sketch (p /. 100.)
 
 let deadline_met_fraction t =
-  let met, total =
-    List.fold_left
-      (fun (met, total) r ->
-        match r.deadline with
-        | None -> (met, total)
-        | Some d ->
-            let ok = (not r.censored) && r.fct <= d in
-            ((met + if ok then 1 else 0), total + 1))
-      (0, 0) t.records
-  in
-  if total = 0 then nan else float_of_int met /. float_of_int total
+  match t.store with
+  | Exact e ->
+      let met, total =
+        List.fold_left
+          (fun (met, total) r ->
+            match r.deadline with
+            | None -> (met, total)
+            | Some d ->
+                let ok = (not r.censored) && r.fct <= d in
+                ((met + if ok then 1 else 0), total + 1))
+          (0, 0) e.records
+      in
+      if total = 0 then nan else float_of_int met /. float_of_int total
+  | Stream s ->
+      if s.deadline_total = 0 then nan
+      else float_of_int s.deadline_met /. float_of_int s.deadline_total
 
 let bucket_fcts t ~lo ~hi =
-  List.filter_map
-    (fun r ->
-      if (not r.censored) && r.size_pkts >= lo && r.size_pkts < hi then
-        Some r.fct
-      else None)
-    t.records
+  let from_records rs =
+    List.filter_map
+      (fun r ->
+        if (not r.censored) && r.size_pkts >= lo && r.size_pkts < hi then
+          Some r.fct
+        else None)
+      rs
+  in
+  match t.store with
+  | Exact e -> from_records e.records
+  | Stream _ -> from_records (records t)
 
 let bucket_afct t ~lo ~hi = Summary.mean (bucket_fcts t ~lo ~hi)
 let bucket_count t ~lo ~hi = List.length (bucket_fcts t ~lo ~hi)
 
 let slowdowns t =
-  List.filter_map
-    (fun r ->
-      match r.ideal with
-      | Some ideal when (not r.censored) && ideal > 0. -> Some (r.fct /. ideal)
-      | _ -> None)
-    t.records
+  let from_records rs =
+    List.filter_map
+      (fun r ->
+        match r.ideal with
+        | Some ideal when (not r.censored) && ideal > 0. -> Some (r.fct /. ideal)
+        | _ -> None)
+      rs
+  in
+  match t.store with
+  | Exact e -> from_records e.records
+  | Stream _ -> from_records (records t)
 
-let mean_slowdown t = Summary.mean (slowdowns t)
+let mean_slowdown t =
+  match t.store with
+  | Exact _ -> Summary.mean (slowdowns t)
+  | Stream s -> Welford.mean s.slow
 
 let p99_slowdown t =
-  match slowdowns t with [] -> nan | xs -> Summary.percentile 99. xs
+  match t.store with
+  | Exact _ -> (
+      match slowdowns t with [] -> nan | xs -> Summary.percentile 99. xs)
+  | Stream s ->
+      if Tdigest.count s.slow_sketch = 0 then nan
+      else Tdigest.quantile s.slow_sketch 0.99
 
-let task_completion_times t =
-  let groups = Hashtbl.create 16 in
-  List.iter
-    (fun r ->
-      match r.task with
-      | None -> ()
-      | Some task ->
-          let prev =
-            try Hashtbl.find groups task with Not_found -> (infinity, neg_infinity, false)
-          in
-          let first_start, last_end, censored = prev in
-          Hashtbl.replace groups task
-            ( Float.min first_start r.start_time,
-              Float.max last_end (r.start_time +. r.fct),
-              censored || r.censored ))
-    t.records;
+let task_times_of_tbl groups =
   Det_tbl.fold
     (fun _ (first_start, last_end, censored) acc ->
       if censored then acc else (last_end -. first_start) :: acc)
     groups []
+
+let task_completion_times t =
+  match t.store with
+  | Exact e ->
+      let groups = Hashtbl.create 16 in
+      List.iter
+        (fun r ->
+          match r.task with
+          | None -> ()
+          | Some task ->
+              let prev =
+                try Hashtbl.find groups task
+                with Not_found -> (infinity, neg_infinity, false)
+              in
+              let first_start, last_end, censored = prev in
+              Hashtbl.replace groups task
+                ( Float.min first_start r.start_time,
+                  Float.max last_end (r.start_time +. r.fct),
+                  censored || r.censored ))
+        e.records;
+      task_times_of_tbl groups
+  | Stream s -> task_times_of_tbl s.tasks
+
+type sketch_info = {
+  sk_delta : float;
+  sk_centroids : int;
+  sk_reservoir_len : int;
+  sk_reservoir_seen : int;
+}
+
+let sketch_info t =
+  match t.store with
+  | Exact _ -> None
+  | Stream s ->
+      Some
+        {
+          sk_delta = Tdigest.delta s.fct_sketch;
+          sk_centroids = List.length (Tdigest.centroids s.fct_sketch);
+          sk_reservoir_len = List.length (Reservoir.sample s.sample);
+          sk_reservoir_seen = Reservoir.seen s.sample;
+        }
+
+let merge a b =
+  match (a.store, b.store) with
+  | Exact ea, Exact eb ->
+      (* Internal lists are newest-first; concatenating b-then-a yields
+         a's records followed by b's once [records] reverses. *)
+      {
+        store = Exact { records = eb.records @ ea.records };
+        n = a.n + b.n;
+        censored_n = a.censored_n + b.censored_n;
+      }
+  | Stream sa, Stream sb ->
+      let tasks = Hashtbl.copy sa.tasks in
+      Det_tbl.iter
+        (fun task (fs, le, c) ->
+          let fs', le', c' =
+            try Hashtbl.find tasks task
+            with Not_found -> (infinity, neg_infinity, false)
+          in
+          Hashtbl.replace tasks task
+            (Float.min fs fs', Float.max le le', c || c'))
+        sb.tasks;
+      {
+        store =
+          Stream
+            {
+              fcts = Welford.merge sa.fcts sb.fcts;
+              fct_sketch = Tdigest.merge sa.fct_sketch sb.fct_sketch;
+              slow = Welford.merge sa.slow sb.slow;
+              slow_sketch = Tdigest.merge sa.slow_sketch sb.slow_sketch;
+              sample = Reservoir.merge sa.sample sb.sample;
+              deadline_met = sa.deadline_met + sb.deadline_met;
+              deadline_total = sa.deadline_total + sb.deadline_total;
+              tasks;
+            };
+        n = a.n + b.n;
+        censored_n = a.censored_n + b.censored_n;
+      }
+  | Exact _, Stream _ | Stream _, Exact _ ->
+      invalid_arg "Fct.merge: cannot merge exact and streaming collections"

@@ -1,4 +1,19 @@
-(** Flow-completion-time collection. *)
+(** Flow-completion-time collection.
+
+    Two storage modes behind one interface:
+
+    - {b exact} ({!create}, the default): every record is retained and each
+      metric is computed from the full sample, byte-identical to the
+      historical behaviour;
+    - {b streaming} ({!create_streaming}): constant memory in the flow
+      count. Means/variances are exact ({!Welford}), quantiles come from a
+      {!Tdigest} with the documented rank-error bound
+      ({!quantile_rank_error}), deadline and task aggregates are exact, and
+      a seeded {!Reservoir} of whole records is retained as the
+      exact-sample fallback ({!records} returns it).
+
+    Both modes are deterministic and free of closures, so a collection
+    survives [Result_codec]'s serialisation in either mode. *)
 
 type record = {
   flow : int;
@@ -14,7 +29,16 @@ type record = {
 
 type t
 
+(** Exact collection: retains every record. *)
 val create : unit -> t
+
+(** Streaming collection: bounded memory. [reservoir] (default 2048) is the
+    record-sample capacity, [delta] (default 200) the t-digest compression,
+    [seed] the reservoir seed. *)
+val create_streaming :
+  ?reservoir:int -> ?delta:float -> ?seed:int -> unit -> t
+
+val mode : t -> [ `Exact | `Streaming ]
 
 val add :
   t ->
@@ -29,37 +53,83 @@ val add :
   unit ->
   unit
 
+(** [add] with the record built by the caller (the runner uses this so it
+    can also spill the record to a streaming sink). *)
+val add_record : t -> record -> unit
+
+(** Exact mode: every record, in insertion order. Streaming mode: the
+    reservoir's retained sample, sorted by flow id. *)
 val records : t -> record list
+
 val count : t -> int
 val censored_count : t -> int
 
-(** FCTs (seconds) of completed, non-censored flows. *)
+(** FCTs (seconds) of completed, non-censored flows. Streaming mode:
+    drawn from the reservoir sample, not the full population. *)
 val completed_fcts : t -> float list
 
-(** Average FCT over non-censored flows (seconds). *)
+(** Average FCT over non-censored flows (seconds); [nan] if none
+    completed. Exact in both modes (streaming uses Welford). *)
 val afct : t -> float
 
-(** [percentile t p] over non-censored flows. *)
+(** [percentile t p] over non-censored flows; [nan] if none completed
+    (e.g. an all-censored high-load run). Exact mode: nearest rank.
+    Streaming mode: t-digest estimate, within {!quantile_rank_error} of
+    the exact rank. Raises [Invalid_argument] if [p] is outside
+    [0, 100]. *)
 val percentile : t -> float -> float
 
+(** [cdf ?points t]: the completed-FCT distribution at [points] evenly
+    spaced quantiles, nearest-rank in exact mode and sketch-interpolated
+    in streaming mode; [[]] if no flow completed. *)
+val cdf : ?points:int -> t -> (float * float) list
+
+(** The rank-error bound on [percentile t p]: [0.] in exact mode, the
+    t-digest bound (see {!Tdigest.rank_error}) in streaming mode ([nan]
+    if empty). *)
+val quantile_rank_error : t -> float -> float
+
 (** Fraction of deadline-carrying flows that finished within their deadline
-    (censored flows count as missed). [nan] if no flow had a deadline. *)
+    (censored flows count as missed). [nan] if no flow had a deadline.
+    Exact in both modes. *)
 val deadline_met_fraction : t -> float
 
 (** Average FCT of completed flows whose size (in segments) lies in
-    [lo, hi). [nan] if the bucket is empty. *)
+    [lo, hi). [nan] if the bucket is empty. Streaming mode: estimated from
+    the reservoir sample. *)
 val bucket_afct : t -> lo:int -> hi:int -> float
 
-(** Number of completed flows in the size bucket [lo, hi). *)
+(** Number of completed flows in the size bucket [lo, hi). Streaming mode:
+    a reservoir-sample count, not a population count. *)
 val bucket_count : t -> lo:int -> hi:int -> int
 
 (** Mean slowdown (FCT / zero-load FCT) over completed flows that carry an
-    [ideal]; [nan] if none do. *)
+    [ideal]; [nan] if none do. Exact in both modes. *)
 val mean_slowdown : t -> float
 
-(** 99th-percentile slowdown; [nan] if no flow carries an [ideal]. *)
+(** 99th-percentile slowdown; [nan] if no flow carries an [ideal].
+    Streaming mode: t-digest estimate. *)
 val p99_slowdown : t -> float
 
 (** Completion time of each task (last member finish minus first member
-    start), over tasks with no censored member. *)
+    start), over tasks with no censored member. Exact in both modes
+    (streaming maintains per-task aggregates incrementally; memory is
+    bounded by the task count, not the flow count). *)
 val task_completion_times : t -> float list
+
+(** Sketch parameters of a streaming collection, for result export. *)
+type sketch_info = {
+  sk_delta : float;
+  sk_centroids : int;
+  sk_reservoir_len : int;
+  sk_reservoir_seen : int;
+}
+
+(** [None] in exact mode. *)
+val sketch_info : t -> sketch_info option
+
+(** [merge a b]: a fresh collection equivalent to [a]'s stream followed by
+    [b]'s. Deterministic in operand order; the sweep aggregator uses it to
+    combine per-job collections. Raises [Invalid_argument] when one side is
+    exact and the other streaming, or on sketch-parameter mismatch. *)
+val merge : t -> t -> t

@@ -2,14 +2,28 @@ let mean = function
   | [] -> nan
   | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
-let percentile p xs =
-  if xs = [] then invalid_arg "Summary.percentile: empty sample";
-  if p < 0. || p > 100. then invalid_arg "Summary.percentile: p out of range";
+(* Nearest-rank index for quantile q in (0,1] over n sorted samples,
+   clamped to the valid range. [percentile] and [cdf] share this so the two
+   can never disagree about where a quantile falls. *)
+let nearest_rank_idx ~n q =
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1))
+
+(* Float.compare, not polymorphic compare: a total order with defined nan
+   placement (nans sort first), and no generic-compare dispatch in the hot
+   sort. *)
+let sorted_array xs =
   let a = Array.of_list xs in
-  Array.sort compare a;
-  let n = Array.length a in
-  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-  a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+  Array.sort Float.compare a;
+  a
+
+let percentile p xs =
+  if p < 0. || p > 100. then invalid_arg "Summary.percentile: p out of range";
+  match xs with
+  | [] -> nan
+  | xs ->
+      let a = sorted_array xs in
+      a.(nearest_rank_idx ~n:(Array.length a) (p /. 100.))
 
 let min = function
   | [] -> nan
@@ -20,13 +34,11 @@ let max = function
   | x :: xs -> List.fold_left Stdlib.max x xs
 
 let cdf ?(points = 100) xs =
-  if xs = [] then []
-  else begin
-    let a = Array.of_list xs in
-    Array.sort compare a;
-    let n = Array.length a in
-    List.init points (fun i ->
-        let q = float_of_int (i + 1) /. float_of_int points in
-        let idx = Stdlib.min (n - 1) (int_of_float (q *. float_of_int n) - 1) in
-        (a.(Stdlib.max 0 idx), q))
-  end
+  match xs with
+  | [] -> []
+  | xs ->
+      let a = sorted_array xs in
+      let n = Array.length a in
+      List.init points (fun i ->
+          let q = float_of_int (i + 1) /. float_of_int points in
+          (a.(nearest_rank_idx ~n q), q))

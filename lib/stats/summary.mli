@@ -2,13 +2,18 @@
 
 val mean : float list -> float
 
-(** [percentile p xs] with [p] in [0, 100]; nearest-rank on the sorted
-    sample. Raises [Invalid_argument] on an empty list. *)
+(** [percentile p xs] with [p] in [0, 100]; nearest-rank on the sample
+    sorted with [Float.compare] (total order: nans sort first). [nan] on
+    the empty list — an all-censored collection is a degenerate result,
+    not a programming error. Raises [Invalid_argument] only when [p] is
+    out of range. *)
 val percentile : float -> float list -> float
 
 val min : float list -> float
 val max : float list -> float
 
 (** Empirical CDF: for each of [points] evenly spaced quantiles q in (0,1],
-    the pair [(value at q, q)]. *)
+    the pair [(value at q, q)]. Uses the same nearest-rank convention as
+    {!percentile}, so [cdf ~points:100] at q = 0.99 equals
+    [percentile 99.]. *)
 val cdf : ?points:int -> float list -> (float * float) list

@@ -1,0 +1,37 @@
+(** Online mean/variance accumulator (Welford's algorithm).
+
+    Constant memory in the sample count, numerically stable, and
+    deterministic: feeding the same values in the same order always yields
+    bit-identical state, and {!merge} is a pure function of its operands
+    (Chan et al.'s parallel combination), so chunked accumulation is
+    reproducible as long as the chunk order is fixed. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t x] folds [x] into the accumulator. Raises [Invalid_argument] on
+    [nan] — a silent nan would poison the mean irrecoverably. *)
+val add : t -> float -> unit
+
+val count : t -> int
+
+(** Running mean; [nan] when empty. *)
+val mean : t -> float
+
+(** Population variance (M2/n); [nan] when empty. *)
+val variance : t -> float
+
+(** [sqrt (variance t)]; [nan] when empty. *)
+val stddev : t -> float
+
+(** Smallest value seen; [nan] when empty. *)
+val min : t -> float
+
+(** Largest value seen; [nan] when empty. *)
+val max : t -> float
+
+(** [merge a b] is a fresh accumulator equivalent to feeding [a]'s stream
+    then [b]'s. Deterministic in operand order; neither operand is
+    mutated. *)
+val merge : t -> t -> t

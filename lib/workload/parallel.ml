@@ -87,7 +87,7 @@ let scenario_key (s : Scenario.t) =
       "faults=" ^ Fault.spec_key s.Scenario.faults;
     ]
 
-let job_key ?horizon ?(profile = false) proto scenario =
+let job_key ?horizon ?(profile = false) ?(stats = `Exact) proto scenario =
   let descr =
     String.concat "\n"
       [
@@ -98,6 +98,11 @@ let job_key ?horizon ?(profile = false) proto scenario =
         (match horizon with None -> "horizon=-" | Some h -> "horizon=" ^ fl h);
         (* Profiled results embed sched_profile, so they cache separately. *)
         Printf.sprintf "profile=%b" profile;
+        (* Exact and streaming results embed different Fct payloads (full
+           record list vs. sketch + reservoir), so they cache separately. *)
+        (match stats with
+        | `Exact -> "stats=exact"
+        | `Streaming -> "stats=streaming");
       ]
   in
   Digest.to_hex (Digest.string descr)
@@ -164,7 +169,8 @@ type worker = { pid : int; idx : int; buf : Buffer.t; started : float }
    worker simulates its configuration and streams the encoded result back
    over its pipe; the parent multiplexes reads with [select] so a worker
    never blocks on a full pipe buffer. *)
-let run_pool ~jobs ~horizon ~profile ~(arr : job array) pending ~on_done =
+let run_pool ~jobs ~horizon ~profile ~stats ~(arr : job array) pending ~on_done
+    =
   let queue = ref pending in
   let active : (Unix.file_descr, worker) Hashtbl.t = Hashtbl.create jobs in
   let spawn idx =
@@ -178,7 +184,7 @@ let run_pool ~jobs ~horizon ~profile ~(arr : job array) pending ~on_done =
         let status =
           match
             let proto, scenario = arr.(idx) in
-            let r = Runner.run ~profile ?horizon proto scenario in
+            let r = Runner.run ~profile ?horizon ~stats proto scenario in
             write_all wr (Result_codec.encode r)
           with
           | () -> 0
@@ -261,7 +267,7 @@ let run_pool ~jobs ~horizon ~profile ~(arr : job array) pending ~on_done =
 
 (* ---- driver ------------------------------------------------------------- *)
 
-let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false)
+let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false) ?(stats = `Exact)
     ?(on_result = fun _ ~cached:_ ~wall:_ _ -> ()) pairs =
   let jobs =
     match jobs with Some j -> max 1 j | None -> max 1 (default_jobs ())
@@ -271,7 +277,9 @@ let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false)
   in
   let arr = Array.of_list pairs in
   let n = Array.length arr in
-  let keys = Array.map (fun (p, s) -> job_key ?horizon ~profile p s) arr in
+  let keys =
+    Array.map (fun (p, s) -> job_key ?horizon ~profile ~stats p s) arr
+  in
   let results : Runner.result option array = Array.make n None in
   let settle i ~cached ~wall r =
     results.(i) <- Some r;
@@ -309,7 +317,7 @@ let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false)
   | [ i ] ->
       let proto, scenario = arr.(i) in
       let t0 = Unix.gettimeofday () in
-      let r = Runner.run ~profile ?horizon proto scenario in
+      let r = Runner.run ~profile ?horizon ~stats proto scenario in
       publish i r (Unix.gettimeofday () -. t0)
   | pending_list ->
       if jobs = 1 then
@@ -317,10 +325,12 @@ let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false)
           (fun i ->
             let proto, scenario = arr.(i) in
             let t0 = Unix.gettimeofday () in
-            let r = Runner.run ~profile ?horizon proto scenario in
+            let r = Runner.run ~profile ?horizon ~stats proto scenario in
             publish i r (Unix.gettimeofday () -. t0))
           pending_list
-      else run_pool ~jobs ~horizon ~profile ~arr pending_list ~on_done:publish);
+      else
+        run_pool ~jobs ~horizon ~profile ~stats ~arr pending_list
+          ~on_done:publish);
   (* 4. Fan shared results back out to duplicate configurations. *)
   Array.to_list
     (Array.mapi
@@ -337,3 +347,12 @@ let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false)
                  | None -> assert false)
              | None -> assert false))
        results)
+
+(* ---- sweep-level aggregation -------------------------------------------- *)
+
+let merged_fct = function
+  | [] -> invalid_arg "Parallel.merged_fct: empty result list"
+  | r :: rest ->
+      List.fold_left
+        (fun acc (r : Runner.result) -> Fct.merge acc r.Runner.fct)
+        r.Runner.fct rest

@@ -26,7 +26,12 @@ val default_cache_dir : unit -> string option
     digest of the running executable (so rebuilding the code invalidates the
     cache). *)
 val job_key :
-  ?horizon:float -> ?profile:bool -> Runner.protocol -> Scenario.t -> string
+  ?horizon:float ->
+  ?profile:bool ->
+  ?stats:[ `Exact | `Streaming ] ->
+  Runner.protocol ->
+  Scenario.t ->
+  string
 
 (** [run_jobs jobs_list] executes every job and returns the results in input
     order.
@@ -38,6 +43,8 @@ val job_key :
     - [horizon]: forwarded to {!Runner.run}.
     - [profile]: forwarded to {!Runner.run}; profiled results cache under a
       distinct key (their [sched_profile] differs).
+    - [stats]: forwarded to {!Runner.run}; exact and streaming results embed
+      different [Fct] payloads and cache under distinct keys.
     - [on_result i ~cached ~wall r] fires once per job as results become
       available (completion order under parallelism); [cached] tells whether
       the result was served from the cache, [wall] is the worker wall-clock
@@ -52,6 +59,14 @@ val run_jobs :
   ?cache_dir:string option ->
   ?horizon:float ->
   ?profile:bool ->
+  ?stats:[ `Exact | `Streaming ] ->
   ?on_result:(int -> cached:bool -> wall:float -> Runner.result -> unit) ->
   job list ->
   Runner.result list
+
+(** [merged_fct results] folds the per-job FCT collections into one with
+    {!Fct.merge}, left to right in input order. Because results come back in
+    input order regardless of worker scheduling, the merged collection is
+    byte-identical whether the jobs ran serially or forked. Raises
+    [Invalid_argument] on the empty list or on mixed collection modes. *)
+val merged_fct : Runner.result list -> Fct.t

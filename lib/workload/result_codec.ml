@@ -1,4 +1,4 @@
-let version = 4
+let version = 5
 let magic = "PASE-RES"
 let header_len = String.length magic + 4
 
@@ -61,11 +61,12 @@ let to_json ?(records = false) ?(extra = []) (r : Runner.result) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf
-       {|{"version":%d,"scenario":"%s","protocol":"%s","load":%s,"afct":%s,"p99":%s,"app_throughput":%s,"loss_rate":%s,"ctrl_msgs":%d,"ctrl_msg_rate":%s,"duration":%s,"events":%d,"completed":%d,"censored":%d,"stray_pkts":%d,"peak_heap":%d|}
+       {|{"version":%d,"scenario":"%s","protocol":"%s","load":%s,"afct":%s,"p99":%s,"p999":%s,"app_throughput":%s,"loss_rate":%s,"ctrl_msgs":%d,"ctrl_msg_rate":%s,"duration":%s,"events":%d,"completed":%d,"censored":%d,"stray_pkts":%d,"peak_heap":%d|}
        version (json_escape r.Runner.scenario)
        (json_escape r.Runner.protocol)
        (json_float r.Runner.load) (json_float r.Runner.afct)
        (json_float r.Runner.p99)
+       (json_float r.Runner.p999)
        (json_float r.Runner.app_throughput)
        (json_float r.Runner.loss_rate)
        r.Runner.ctrl_msgs
@@ -84,6 +85,19 @@ let to_json ?(records = false) ?(extra = []) (r : Runner.result) =
        (json_float r.Runner.recovery_s)
        (json_float r.Runner.afct_baseline)
        (json_float r.Runner.afct_inflation));
+  (* Statistics mode: exact retains every record; streaming carries the
+     sketch parameters and the p99 rank-error bound so downstream tooling
+     can judge quantile accuracy without the raw sample. *)
+  (match Fct.sketch_info r.Runner.fct with
+  | None -> Buffer.add_string buf {|,"stats":{"mode":"exact"}|}
+  | Some sk ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|,"stats":{"mode":"streaming","quantile_rank_error_p99":%s,"sketch":{"delta":%s,"centroids":%d,"reservoir_len":%d,"reservoir_seen":%d}}|}
+           (json_float (Fct.quantile_rank_error r.Runner.fct 99.))
+           (json_float sk.Fct.sk_delta)
+           sk.Fct.sk_centroids sk.Fct.sk_reservoir_len
+           sk.Fct.sk_reservoir_seen));
   (match r.Runner.sched_profile with
   | [] -> ()
   | sites ->

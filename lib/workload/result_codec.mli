@@ -20,9 +20,16 @@ val encode : Runner.result -> string
 val decode : string -> (Runner.result, string) result
 
 (** [to_json ?records ?extra r] renders the summary metrics as a JSON object
-    ([nan]/infinite floats become [null]). With [~records:true] the per-flow
-    FCT records are included under ["flows"]. [extra] appends caller-supplied
-    [(key, rendered-json-value)] pairs — the CLI uses it to fold trace
-    summaries into the output without polluting the cached result. *)
+    ([nan]/infinite floats become [null]). Always includes a ["stats"]
+    object describing the collection mode (and, for streaming results, the
+    sketch parameters and p99 rank-error bound). With [~records:true] the
+    per-flow FCT records are included under ["flows"]. [extra] appends
+    caller-supplied [(key, rendered-json-value)] pairs — the CLI uses it to
+    fold trace summaries into the output without polluting the cached
+    result. *)
 val to_json :
   ?records:bool -> ?extra:(string * string) list -> Runner.result -> string
+
+(** One FCT record as a single-line JSON object — the CLI's
+    [--stream-results] sink writes one per line (JSONL). *)
+val record_to_json : Fct.record -> string

@@ -22,6 +22,7 @@ type result = {
   fct : Fct.t;
   afct : float;
   p99 : float;
+  p999 : float;
   app_throughput : float;
   loss_rate : float;
   ctrl_msgs : int;
@@ -84,13 +85,16 @@ let qdisc_for protocol counters ~rtt =
           ~limit_pkts:cfg.Config.queue_limit_pkts
           ~mark_threshold:(mark_threshold_for rate_bps)
 
-let rec run ?(profile = false) ?horizon protocol scenario =
+let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record protocol
+    scenario =
   (* Fault-free baseline for AFCT inflation, run first so the faulted run's
      process-global state (packet ids, trace clock) is the fresh one.
-     Skipped under tracing: the baseline's events would pollute the sinks. *)
+     Skipped under tracing: the baseline's events would pollute the sinks.
+     The baseline inherits [stats] (same memory profile) but never spills
+     records: only the measured run's flows belong in the stream. *)
   let afct_baseline =
     if scenario.Scenario.faults = [] || Trace.on () then nan
-    else (run ?horizon protocol (Scenario.with_faults scenario [])).afct
+    else (run ?horizon ~stats protocol (Scenario.with_faults scenario [])).afct
   in
   Packet.reset_ids ();
   let engine = Engine.create () in
@@ -100,7 +104,17 @@ let rec run ?(profile = false) ?horizon protocol scenario =
   let plan = Scenario.build scenario engine counters ~qdisc in
   let topo = plan.Scenario.topo in
   let net = topo.Topology.net in
-  let fct = Fct.create () in
+  let fct =
+    match stats with
+    | `Exact -> Fct.create ()
+    | `Streaming -> Fct.create_streaming ~seed:scenario.Scenario.seed ()
+  in
+  (* Every record goes through here: aggregate, then spill to the caller's
+     sink (the CLI's JSONL stream) if one is attached. *)
+  let record r =
+    Fct.add_record fct r;
+    match on_record with Some f -> f r | None -> ()
+  in
   let hierarchy =
     match protocol with
     | Pase cfg ->
@@ -240,9 +254,17 @@ let rec run ?(profile = false) ?horizon protocol scenario =
       Receiver.stop recv;
       if not spec.Scenario.long_lived then begin
         Hashtbl.remove open_flows id;
-        Fct.add fct ~flow:id ~size_pkts ~start_time:flow.Flow.start_time
-          ~fct:flow_fct ?deadline:spec.Scenario.deadline ~ideal
-          ?task:spec.Scenario.task ();
+        record
+          {
+            Fct.flow = id;
+            size_pkts;
+            start_time = flow.Flow.start_time;
+            fct = flow_fct;
+            deadline = spec.Scenario.deadline;
+            censored = false;
+            ideal = Some ideal;
+            task = spec.Scenario.task;
+          };
         incr completed;
         if !completed = total_measured then Engine.stop engine
       end
@@ -309,19 +331,23 @@ let rec run ?(profile = false) ?horizon protocol scenario =
   (match fault_plane with Some fp -> Fault.finish fp | None -> ());
   let end_time = Engine.now engine in
   (* Flows still open at the horizon are censored. Sorted traversal: the
-     Fct.add order below is the record order in the published result. *)
+     record order below is the record order in the published result. *)
   Det_tbl.iter
     (fun id ((spec : Scenario.flow_spec), size_pkts, ideal) ->
-      Fct.add fct ~flow:id ~size_pkts ~start_time:spec.Scenario.start
-        ~fct:(Float.max 0. (end_time -. spec.Scenario.start))
-        ?deadline:spec.Scenario.deadline ~ideal ?task:spec.Scenario.task
-        ~censored:true ())
+      record
+        {
+          Fct.flow = id;
+          size_pkts;
+          start_time = spec.Scenario.start;
+          fct = Float.max 0. (end_time -. spec.Scenario.start);
+          deadline = spec.Scenario.deadline;
+          censored = true;
+          ideal = Some ideal;
+          task = spec.Scenario.task;
+        })
     open_flows;
-  let completed_fcts = Fct.completed_fcts fct in
   let prof = Engine.profile engine in
-  let afct =
-    if completed_fcts = [] then nan else Summary.mean completed_fcts
-  in
+  let afct = Fct.afct fct in
   let link_downtime_s =
     match fault_plane with
     | Some fp -> (Fault.stats fp).Fault.downtime_s
@@ -339,8 +365,8 @@ let rec run ?(profile = false) ?horizon protocol scenario =
     load = scenario.Scenario.load;
     fct;
     afct;
-    p99 =
-      (if completed_fcts = [] then nan else Summary.percentile 99. completed_fcts);
+    p99 = Fct.percentile fct 99.;
+    p999 = Fct.percentile fct 99.9;
     app_throughput = Fct.deadline_met_fraction fct;
     loss_rate = Counters.loss_rate counters;
     ctrl_msgs = counters.Counters.ctrl_msgs;

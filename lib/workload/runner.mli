@@ -21,7 +21,11 @@ type result = {
   load : float;
   fct : Fct.t;  (** per-flow records (completed + censored) *)
   afct : float;  (** seconds, over completed flows *)
-  p99 : float;  (** 99th-percentile FCT, seconds *)
+  p99 : float;  (** 99th-percentile FCT, seconds; [nan] if none completed *)
+  p999 : float;
+      (** 99.9th-percentile FCT, seconds; [nan] if none completed. Under
+          streaming stats, both percentiles are t-digest estimates within
+          [Fct.quantile_rank_error] of the exact rank *)
   app_throughput : float;  (** deadline-met fraction; [nan] if no deadlines *)
   loss_rate : float;
   ctrl_msgs : int;
@@ -61,12 +65,28 @@ type result = {
   gc_major_collections : int;  (** major GC cycles during the run *)
 }
 
-(** [run ?profile ?horizon protocol scenario] executes one simulation. The
-    run ends when every measured flow completes or at [horizon] (default:
-    last arrival + 5 s); unfinished measured flows are recorded as censored.
-    [profile] (default false) enables per-site engine profiling.
+(** [run ?profile ?horizon ?stats ?on_record protocol scenario] executes
+    one simulation. The run ends when every measured flow completes or at
+    [horizon] (default: last arrival + 5 s); unfinished measured flows are
+    recorded as censored. [profile] (default false) enables per-site engine
+    profiling.
+
+    [stats] selects the FCT collection mode: [`Exact] (default) retains
+    every per-flow record, byte-identical to the historical results;
+    [`Streaming] aggregates online ({!Fct.create_streaming}, reservoir
+    seeded from the scenario seed) so the run's memory stays bounded in the
+    flow count. [on_record] is invoked once per record (completed and
+    censored) in result order — the CLI's [--stream-results] uses it to
+    spill records to disk incrementally.
 
     A non-empty [scenario.faults] schedule is armed on the engine before
     the run and first triggers an unprofiled fault-free sub-run of the same
     scenario to measure [afct_baseline] (skipped while tracing). *)
-val run : ?profile:bool -> ?horizon:float -> protocol -> Scenario.t -> result
+val run :
+  ?profile:bool ->
+  ?horizon:float ->
+  ?stats:[ `Exact | `Streaming ] ->
+  ?on_record:(Fct.record -> unit) ->
+  protocol ->
+  Scenario.t ->
+  result

@@ -47,6 +47,27 @@ let test_obj_magic () =
   check_rules "Obj.magic flagged" [ "no-obj-magic" ] {|let c x = Obj.magic x|};
   check_rules "other Obj.* not flagged" [] {|let r x = Obj.repr x|}
 
+let test_poly_compare_sort () =
+  check_rules "List.sort compare flagged" [ "no-poly-compare-sort" ]
+    {|let f xs = List.sort compare xs|};
+  check_rules "Array.sort Stdlib.compare flagged" [ "no-poly-compare-sort" ]
+    {|let f a = Array.sort Stdlib.compare a|};
+  check_rules "List.sort_uniq compare flagged" [ "no-poly-compare-sort" ]
+    {|let f xs = List.sort_uniq compare xs|};
+  check_rules "ListLabels.stable_sort ~cmp:compare flagged"
+    [ "no-poly-compare-sort" ]
+    {|let f xs = ListLabels.stable_sort ~cmp:compare xs|};
+  check_rules "explicit comparator not flagged" []
+    {|let f xs = List.sort Float.compare xs
+let g a = Array.sort Int.compare a
+let h rows = List.sort (List.compare String.compare) rows|};
+  (* A named comparator that happens to wrap `compare`, or `compare` used
+     outside a sort, is out of the rule's scope. *)
+  check_rules "compare outside a sort not flagged" []
+    {|let cmp a b = compare a b
+let f xs = List.sort cmp xs
+let eq x y = compare x y = 0|}
+
 let test_mentions_in_comments_and_strings () =
   check_rules "comments and strings are not code" []
     {|(* Hashtbl.fold would be bad; so would Random.int *)
@@ -143,6 +164,7 @@ let suite =
     Alcotest.test_case "no-silent-catchall" `Quick test_silent_catchall;
     Alcotest.test_case "no-marshal" `Quick test_marshal;
     Alcotest.test_case "no-obj-magic" `Quick test_obj_magic;
+    Alcotest.test_case "no-poly-compare-sort" `Quick test_poly_compare_sort;
     Alcotest.test_case "comments and strings ignored" `Quick
       test_mentions_in_comments_and_strings;
     Alcotest.test_case "pragma same line" `Quick test_pragma_same_line;

@@ -13,6 +13,7 @@ let () =
       ("arbitration", Test_arbitration.suite);
       ("pase-core", Test_pase_core.suite);
       ("stats", Test_stats.suite);
+      ("streaming", Test_streaming.suite);
       ("workload", Test_workload.suite);
       ("determinism", Test_determinism.suite);
       ("extensions", Test_extensions.suite);

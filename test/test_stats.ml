@@ -10,9 +10,13 @@ let test_percentile () =
   Alcotest.(check (float 1e-9)) "p99" 99. (Summary.percentile 99. xs);
   Alcotest.(check (float 1e-9)) "p100" 100. (Summary.percentile 100. xs);
   Alcotest.(check (float 1e-9)) "p1" 1. (Summary.percentile 1. xs);
-  Alcotest.check_raises "empty raises"
-    (Invalid_argument "Summary.percentile: empty sample") (fun () ->
-      ignore (Summary.percentile 50. []))
+  (* An empty sample (e.g. an all-censored collection) is a degenerate
+     result, not a programming error: nan, like Summary.mean. *)
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Summary.percentile 50. []));
+  Alcotest.check_raises "p out of range still raises"
+    (Invalid_argument "Summary.percentile: p out of range") (fun () ->
+      ignore (Summary.percentile 101. xs))
 
 let test_percentile_unsorted_input () =
   Alcotest.(check (float 1e-9)) "unsorted" 3.
@@ -34,7 +38,17 @@ let test_cdf () =
     | (a, _) :: ((b, _) :: _ as rest) -> a <= b && mono rest
     | _ -> true
   in
-  Alcotest.(check bool) "monotone" true (mono cdf)
+  Alcotest.(check bool) "monotone" true (mono cdf);
+  (* cdf and percentile share the nearest-rank convention: the value at
+     quantile q must equal percentile (100 q) for every emitted point. *)
+  let xs = List.init 137 (fun i -> float_of_int (i * i mod 97)) in
+  List.iter
+    (fun (v, q) ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "cdf(%.2f) = percentile(%.0f)" q (q *. 100.))
+        (Summary.percentile (q *. 100.) xs)
+        v)
+    (Summary.cdf ~points:100 xs)
 
 let test_fct_bookkeeping () =
   let f = Fct.create () in

@@ -14,6 +14,7 @@ let rule_ids =
     "no-silent-catchall";
     "no-marshal";
     "no-obj-magic";
+    "no-poly-compare-sort";
   ]
 
 (* Per-rule file allowlists: the one blessed implementation site of each
@@ -289,6 +290,31 @@ let rule_of_ident lid =
                route persistence through Result_codec" )
       | _ -> None)
 
+(* The sort combinators whose comparator argument the poly-compare rule
+   inspects. *)
+let is_sort_fn = function
+  | Longident.Ldot
+      ( Longident.Lident ("List" | "Array" | "ListLabels" | "ArrayLabels"),
+        ("sort" | "stable_sort" | "fast_sort" | "sort_uniq") ) ->
+      true
+  | _ -> false
+
+(* A bare polymorphic [compare] (or [Stdlib.compare]) passed as a
+   comparator. Structural compare is not a total order on floats (nan
+   compares inconsistently with itself), so a sort keyed on it can return
+   different permutations for equal multisets. *)
+let is_poly_compare (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident
+      {
+        txt =
+          ( Longident.Lident "compare"
+          | Longident.Ldot (Longident.Lident "Stdlib", "compare") );
+        _;
+      } ->
+      true
+  | _ -> false
+
 let collect_ast_findings ~file ast =
   let acc = ref [] in
   let report rule loc detail =
@@ -319,6 +345,20 @@ let collect_ast_findings ~file ast =
   let expr (sub : Ast_iterator.iterator) (e : Parsetree.expression) =
     (match e.Parsetree.pexp_desc with
     | Parsetree.Pexp_ident { txt; loc } -> check_ident txt loc
+    | Parsetree.Pexp_apply
+        ({ Parsetree.pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, args)
+      when is_sort_fn txt ->
+        List.iter
+          (fun ((_, arg) : Asttypes.arg_label * Parsetree.expression) ->
+            if is_poly_compare arg then
+              report "no-poly-compare-sort" arg.Parsetree.pexp_loc
+                (Printf.sprintf
+                   "`%s` called with the polymorphic `compare`: not a total \
+                    order on floats (nan), raises on functional values, and \
+                    hides type changes; pass an explicit comparator \
+                    (Float.compare, Int.compare, String.compare, ...)"
+                   (ident_string txt)))
+          args
     | Parsetree.Pexp_try (_, cases) ->
         List.iter
           (fun (c : Parsetree.case) ->
@@ -435,7 +475,7 @@ let lint_file path = lint_source ~file:path (read_file path)
 let rec collect_ml acc path =
   if Sys.is_directory path then
     Array.to_list (Sys.readdir path)
-    |> List.sort compare
+    |> List.sort String.compare
     |> List.fold_left
          (fun acc name ->
            if name = "_build" || (name <> "" && name.[0] = '.') then acc
@@ -446,7 +486,7 @@ let rec collect_ml acc path =
 
 let lint_paths paths =
   List.fold_left collect_ml [] paths
-  |> List.sort_uniq compare
+  |> List.sort_uniq String.compare
   |> List.concat_map lint_file
 
 let pp_finding ppf f =
