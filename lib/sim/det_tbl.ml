@@ -4,6 +4,7 @@
    first), so even degenerate multi-binding tables traverse reproducibly. *)
 
 let to_list ?(cmp = Stdlib.compare) tbl =
+  (* lint: allow no-hash-order — traversal order is erased by the sort below *)
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.stable_sort (fun (a, _) (b, _) -> cmp a b)
 

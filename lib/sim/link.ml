@@ -42,11 +42,13 @@ let fly_push t pkt =
     let ncap = 2 * cap in
     let nfly = Array.make ncap t.dummy in
     for i = 0 to t.fly_len - 1 do
+      (* lint: allow pool-lifetime — ring growth moves live in-flight packets between the old and new backing arrays *)
       nfly.(i) <- t.fly.((t.fly_head + i) mod cap)
     done;
     t.fly <- nfly;
     t.fly_head <- 0
   end;
+  (* lint: allow pool-lifetime — ownership transfers to the in-flight ring; freed on delivery or blackhole *)
   t.fly.((t.fly_head + t.fly_len) mod Array.length t.fly) <- pkt;
   t.fly_len <- t.fly_len + 1
 
@@ -76,6 +78,7 @@ let transmit_next t =
     | None -> t.busy <- false
     | Some pkt ->
         t.busy <- true;
+        (* lint: allow pool-lifetime — ownership transfers to the wire head; handed to the fly ring or blackholed at tx_done *)
         t.txing <- pkt;
         let tx_time = float_of_int (8 * pkt.Packet.size) /. t.rate_bps in
         Engine.schedule ~label:"link-tx" t.engine ~delay:tx_time t.tx_done

@@ -8,6 +8,7 @@ type buf = { mutable items : Packet.t option array; mutable len : int }
 let buf_create limit = { items = Array.make (max limit 1) None; len = 0 }
 
 let buf_add b pkt =
+  (* lint: allow pool-lifetime — ownership transfers to the shared buffer; freed on eviction or delivery *)
   b.items.(b.len) <- Some pkt;
   b.len <- b.len + 1
 

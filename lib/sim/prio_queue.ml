@@ -22,6 +22,7 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
         let victim = ref None in
         for j = 0 to n - 1 do
           let p = Queue.pop qs.(i) in
+          (* lint: allow pool-lifetime — rotation returns still-owned packets to the same band queue *)
           if j = n - 1 then victim := Some p else Queue.push p qs.(i)
         done;
         (match !victim with
@@ -47,6 +48,7 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
     else begin
       if pkt.Packet.ecn_capable && Queue.length qs.(band) >= mark_threshold
       then Queue_disc.count_mark loc counters ~qpkts:!total pkt;
+      (* lint: allow pool-lifetime — ownership transfers to the band queue; freed on drop or delivery *)
       Queue.push pkt qs.(band);
       total := !total + 1;
       bytes := !bytes + pkt.Packet.size;

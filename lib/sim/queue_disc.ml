@@ -52,6 +52,7 @@ let fifo counters ~limit_pkts ~mark_threshold =
       | Some k when pkt.Packet.ecn_capable && Queue.length q >= k ->
           count_mark loc counters ~qpkts:(Queue.length q) pkt
       | _ -> ());
+      (* lint: allow pool-lifetime — ownership transfers to the FIFO; freed on drop or delivery *)
       Queue.push pkt q;
       bytes := !bytes + pkt.Packet.size;
       count_enqueue loc counters ~qpkts:(Queue.length q) pkt

@@ -200,6 +200,7 @@ let run_pool ~jobs ~horizon ~profile ~stats ~(arr : job array) pending ~on_done
     | pid ->
         Unix.close wr;
         Hashtbl.replace active rd
+          (* lint: allow no-wallclock — worker elapsed-time diagnostics only *)
           { pid; idx; buf = Buffer.create 8192; started = Unix.gettimeofday () }
   in
   let kill_all () =
@@ -228,6 +229,7 @@ let run_pool ~jobs ~horizon ~profile ~stats ~(arr : job array) pending ~on_done
         failwith
           (Printf.sprintf "parallel worker for job %d killed by signal %d" w.idx n));
     match Result_codec.decode (Buffer.contents w.buf) with
+    (* lint: allow no-wallclock — worker elapsed-time diagnostics only *)
     | Ok r -> on_done w.idx r (Unix.gettimeofday () -. w.started)
     | Error e ->
         failwith
@@ -316,16 +318,20 @@ let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false) ?(stats = `Exact)
   | [] -> ()
   | [ i ] ->
       let proto, scenario = arr.(i) in
+      (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
       let t0 = Unix.gettimeofday () in
       let r = Runner.run ~profile ?horizon ~stats proto scenario in
+      (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
       publish i r (Unix.gettimeofday () -. t0)
   | pending_list ->
       if jobs = 1 then
         List.iter
           (fun i ->
             let proto, scenario = arr.(i) in
+            (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
             let t0 = Unix.gettimeofday () in
             let r = Runner.run ~profile ?horizon ~stats proto scenario in
+            (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
             publish i r (Unix.gettimeofday () -. t0))
           pending_list
       else

@@ -4,6 +4,7 @@ let header_len = String.length magic + 4
 
 let encode (r : Runner.result) =
   Printf.sprintf "%s%04d%s" magic version
+    (* lint: allow no-marshal — this module IS the blessed codec boundary *)
     (Marshal.to_string (r : Runner.result) [])
 
 let decode s =
@@ -16,6 +17,7 @@ let decode s =
     | Some v when v <> version ->
         Error (Printf.sprintf "version mismatch: blob v%d, codec v%d" v version)
     | Some _ -> (
+        (* lint: allow no-marshal — this module IS the blessed codec boundary *)
         try Ok (Marshal.from_string s header_len : Runner.result)
         with exn ->
           Error (Printf.sprintf "corrupt payload: %s" (Printexc.to_string exn)))

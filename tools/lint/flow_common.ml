@@ -1,0 +1,84 @@
+(* Shared helpers for the typedtree dataflow tier. Everything here works
+   purely on paths and names — no Env lookups — so analyses run on .cmt
+   files without replaying the compilation environment. *)
+
+type finding = Lint_engine.finding
+
+let finding ~rule ~file (loc : Location.t) message : finding =
+  let pos = loc.Location.loc_start in
+  {
+    Lint_engine.rule;
+    file;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    message;
+  }
+
+(* [path_is p ~m ~n] matches a [Path.t] whose last two components are
+   [m.n] — e.g. both the simulator's unwrapped [Packet.free] and a test
+   fixture's locally-stubbed [module Packet]. *)
+let path_is p ~m ~n =
+  match p with
+  | Path.Pdot (pm, pn) -> (
+      pn = n
+      &&
+      match pm with
+      | Path.Pident id -> Ident.name id = m
+      | Path.Pdot (_, pmn) -> pmn = m
+      | _ -> false)
+  | _ -> false
+
+let path_last p =
+  match p with
+  | Path.Pident id -> Ident.name id
+  | Path.Pdot (_, n) -> n
+  | _ -> Path.name p
+
+(* Qualified name of a called value as the taint pass keys it:
+   [M.f] for a cross-module reference, [<cur>.f] for a module-local one. *)
+let callee_name ~cur_module p =
+  match p with
+  | Path.Pident id -> cur_module ^ "." ^ Ident.name id
+  | Path.Pdot (pm, n) -> (
+      match pm with
+      | Path.Pident id -> Ident.name id ^ "." ^ n
+      | Path.Pdot (_, pmn) -> pmn ^ "." ^ n
+      | _ -> Path.name p)
+  | _ -> Path.name p
+
+let rec type_is_constr ty ~m ~n =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> path_is p ~m ~n || (m = "" && path_last p = n)
+  | Types.Tpoly (t, _) -> type_is_constr t ~m ~n
+  | _ -> false
+
+let type_is_float ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Path.same p Predef.path_float
+  | _ -> false
+
+(* "Packet.t" both as the unwrapped library module and as a fixture stub.
+   Inside packet.ml itself the type is just "t"; the pool analysis skips
+   that file, so the qualified match is enough. *)
+let is_packet_type ty = type_is_constr ty ~m:"Packet" ~n:"t"
+
+let module_name_of_source src_file =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename src_file))
+
+(* Per-file input to the analyses. [source] is the file's text when it
+   could be read (pragma suppression needs it); [None] disables
+   suppression for that file rather than failing the run. [pragmas] is
+   parsed once from [source] and shared between the taint pass (which
+   consults allow/taint pragmas for propagation) and the driver's
+   suppression + stale-pragma check, so a pragma consumed by either
+   counts as used. *)
+type input = {
+  src_file : string;
+  modname : string;
+  str : Typedtree.structure;
+  source : string option;
+  pragmas : Lint_engine.pragma list;
+}
+
+let basename_is src_file name = Filename.basename src_file = name

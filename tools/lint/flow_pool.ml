@@ -1,0 +1,363 @@
+(* Pool-lifetime analysis (rule [pool-lifetime]).
+
+   Pooled [Packet.t] values are recycled through a free list: after
+   [Packet.free p] the record may be handed out again with every field
+   reinitialized, so any later read, store, capture, or second free of [p]
+   races the next owner. This pass tracks lets-bound and parameter packets
+   intraprocedurally, in (approximate) evaluation order:
+
+   - a use of an identifier after a call that may free it is flagged
+     (reads, field stores, argument passing, and capture inside a closure
+     created after the free all count as uses);
+   - a second may-free call on the same identifier is a double free;
+   - branches fork the freed-set and merge by union: a packet freed on
+     either arm is treated as freed after the join.
+
+   "May free" is interprocedural by summary: [Packet.free] seeds the set,
+   and a function that forwards one of its parameters to a may-free
+   parameter position joins it (fixed point across all analyzed files), so
+   wrappers like [Queue_disc.count_drop] or [Link.blackhole] are tracked
+   without annotations.
+
+   Soundness limits (documented in DESIGN.md §13): aliases are not
+   tracked ([let q = p]), containers are not modeled (a packet parked in
+   an array and freed through another name escapes the pass), loop bodies
+   are walked once (a free on iteration N hitting a use on iteration N+1
+   is missed), and calls through record fields or higher-order arguments
+   have no summary. Suppress intentional sites with
+   [(* lint: allow pool-lifetime — <reason> *)]. *)
+
+open Typedtree
+
+let rule = "pool-lifetime"
+
+(* Argument slot of a function: positional index among unlabeled
+   arguments, or the label name — robust against labeled-argument
+   reordering between definition and call sites. *)
+type slot = Nth of int | Label of string
+
+let slot_of_label ~nolabel_rank (lbl : Asttypes.arg_label) =
+  match lbl with
+  | Asttypes.Nolabel -> Nth nolabel_rank
+  | Asttypes.Labelled s | Asttypes.Optional s -> Label s
+
+(* The curried parameter chain of a bound function: one (slot, ident)
+   per [fun] layer whose pattern is a plain variable. *)
+let rec params_of_expr nolabel_rank (e : expression) =
+  match e.exp_desc with
+  | Texp_function { arg_label; cases = [ { c_lhs; c_rhs; c_guard = None } ]; _ }
+    -> (
+      let rank' =
+        match arg_label with
+        | Asttypes.Nolabel -> nolabel_rank + 1
+        | _ -> nolabel_rank
+      in
+      let rest = params_of_expr rank' c_rhs in
+      match c_lhs.pat_desc with
+      | Tpat_var (id, _) -> (slot_of_label ~nolabel_rank arg_label, id) :: rest
+      | _ -> rest)
+  | _ -> []
+
+let rec body_of_expr (e : expression) =
+  match e.exp_desc with
+  | Texp_function { cases = [ { c_rhs; c_guard = None; _ } ]; _ } ->
+      body_of_expr c_rhs
+  | _ -> e
+
+let is_packet_free p = Flow_common.path_is p ~m:"Packet" ~n:"free"
+
+(* ---- may-free summaries -------------------------------------------------- *)
+
+module SMap = Map.Make (String)
+
+(* name -> freeing slots. [Packet.free] is implicit (slot [Nth 0]). *)
+type summaries = slot list SMap.t
+
+let freeing_slots summaries p : slot list =
+  if is_packet_free p then [ Nth 0 ]
+  else
+    match SMap.find_opt (Flow_common.path_last p) summaries with
+    | Some slots -> slots
+    | None -> []
+
+(* Summaries are keyed by the value's bare name: unwrapped libraries give
+   every top-level binding a distinct enough name in this codebase, and
+   keying bare names lets a module-local call ([count_drop ...]) and a
+   qualified one ([Queue_disc.count_drop ...]) share one summary. *)
+let collect_function_defs (input : Flow_common.input) =
+  let defs = ref [] in
+  let structure_item (sub : Tast_iterator.iterator) (si : structure_item) =
+    (match si.str_desc with
+    | Tstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            match vb.vb_pat.pat_desc with
+            | Tpat_var (id, _) ->
+                let params = params_of_expr 0 vb.vb_expr in
+                if params <> [] then
+                  defs :=
+                    (Ident.name id, params, body_of_expr vb.vb_expr) :: !defs
+            | _ -> ())
+          vbs
+    | _ -> ());
+    Tast_iterator.default_iterator.structure_item sub si
+  in
+  let it = { Tast_iterator.default_iterator with structure_item } in
+  it.structure it input.str;
+  List.rev !defs
+
+(* One propagation round: does [body] pass any of [params] to a freeing
+   slot of a summarized function? *)
+let freed_params summaries params body =
+  let hit = ref [] in
+  let expr (sub : Tast_iterator.iterator) (e : expression) =
+    (match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+        let slots = freeing_slots summaries p in
+        if slots <> [] then begin
+          let rank = ref 0 in
+          List.iter
+            (fun (lbl, arg) ->
+              let slot = slot_of_label ~nolabel_rank:!rank lbl in
+              (match lbl with Asttypes.Nolabel -> incr rank | _ -> ());
+              if List.mem slot slots then
+                match arg with
+                | Some { exp_desc = Texp_ident (Path.Pident id, _, _); _ } -> (
+                    match
+                      List.find_opt (fun (_, pid) -> Ident.same pid id) params
+                    with
+                    | Some (pslot, _) ->
+                        if not (List.mem pslot !hit) then hit := pslot :: !hit
+                    | None -> ())
+                | _ -> ())
+            args
+        end
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it body;
+  !hit
+
+let build_summaries (inputs : Flow_common.input list) : summaries =
+  let defs = List.concat_map collect_function_defs inputs in
+  let summaries = ref SMap.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (name, params, body) ->
+        let hits = freed_params !summaries params body in
+        let prev = Option.value ~default:[] (SMap.find_opt name !summaries) in
+        let merged = List.sort_uniq compare (hits @ prev) in
+        if merged <> prev then begin
+          summaries := SMap.add name merged !summaries;
+          changed := true
+        end)
+      defs
+  done;
+  !summaries
+
+(* ---- escape detection ---------------------------------------------------- *)
+
+(* A packet parked in a container or captured by a deferred closure
+   outlives the current event, where the pool may recycle it under the
+   holder's feet. Such hand-offs are legal only where ownership provably
+   transfers (the data path's queues and in-flight rings) — every site
+   must say so with [(* lint: allow pool-lifetime — <reason> *)]. Stores
+   of the pool's [dummy] sentinel (slot-clearing) are exempt by
+   convention. *)
+let container_fns = [ "push"; "add"; "replace"; "set"; "unsafe_set" ]
+let schedule_fns = [ "schedule"; "schedule_at"; "schedule_cancellable" ]
+
+let is_dummy_store (v : expression) =
+  match v.exp_desc with
+  | Texp_ident (p, _, _) -> Flow_common.path_last p = "dummy"
+  | Texp_field (_, _, ld) -> ld.Types.lbl_name = "dummy"
+  | _ -> false
+
+(* Does storing [v] park a packet? Sees through constructor and tuple
+   wrapping ([Some pkt], [(pkt, meta)]); the [dummy] sentinel is exempt. *)
+let rec stores_packet (v : expression) =
+  if Flow_common.is_packet_type v.exp_type then not (is_dummy_store v)
+  else
+    match v.exp_desc with
+    | Texp_construct (_, _, args) -> List.exists stores_packet args
+    | Texp_tuple vs -> List.exists stores_packet vs
+    | _ -> false
+
+(* Packet-typed identifiers referenced inside [fn] but bound outside it:
+   the captures that make a closure hold a packet. *)
+let captured_packets (fn : expression) =
+  let bound = ref [] in
+  let used = ref [] in
+  let pat (type k) sub (p : k general_pattern) =
+    (match p.pat_desc with
+    | Tpat_var (id, _) -> bound := id :: !bound
+    | Tpat_alias (_, id, _) -> bound := id :: !bound
+    | _ -> ());
+    Tast_iterator.default_iterator.pat sub p
+  in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _)
+      when Flow_common.is_packet_type e.exp_type ->
+        used := (id, e.exp_loc) :: !used
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with pat; expr } in
+  it.expr it fn;
+  List.filter
+    (fun (id, _) -> not (List.exists (Ident.same id) !bound))
+    (List.rev !used)
+
+(* ---- intraprocedural use-after-free walk -------------------------------- *)
+
+module IMap = Map.Make (Ident)
+
+let analyze_input summaries (input : Flow_common.input) =
+  let file = input.Flow_common.src_file in
+  let findings = ref [] in
+  let report loc msg = findings := Flow_common.finding ~rule ~file loc msg :: !findings in
+  (* freed ident -> location of the (first) freeing call *)
+  let freed : Location.t IMap.t ref = ref IMap.empty in
+  let merge a b =
+    IMap.union (fun _ l _ -> Some l) a b
+  in
+  let expr (sub : Tast_iterator.iterator) (e : expression) =
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> (
+        match IMap.find_opt id !freed with
+        | Some floc ->
+            report e.exp_loc
+              (Printf.sprintf
+                 "pooled `%s` used after being freed at line %d; the pool \
+                  may already have recycled it"
+                 (Ident.name id) floc.Location.loc_start.Lexing.pos_lnum)
+        | None -> ())
+    | Texp_apply (({ exp_desc = Texp_ident (p, _, _); _ } as fn), args)
+      when freeing_slots summaries p <> [] ->
+        let slots = freeing_slots summaries p in
+        sub.expr sub fn;
+        let rank = ref 0 in
+        List.iter
+          (fun (lbl, arg) ->
+            let slot = slot_of_label ~nolabel_rank:!rank lbl in
+            (match lbl with Asttypes.Nolabel -> incr rank | _ -> ());
+            match arg with
+            | Some ({ exp_desc = Texp_ident (Path.Pident id, _, _); _ } as ae)
+              when List.mem slot slots
+                   && Flow_common.is_packet_type ae.exp_type -> (
+                match IMap.find_opt id !freed with
+                | Some floc ->
+                    report ae.exp_loc
+                      (Printf.sprintf
+                         "pooled `%s` freed again (`%s`); first freed at \
+                          line %d — double free corrupts the free list"
+                         (Ident.name id)
+                         (Flow_common.path_last p)
+                         floc.Location.loc_start.Lexing.pos_lnum)
+                | None -> freed := IMap.add id e.exp_loc !freed)
+            | Some ae -> sub.expr sub ae
+            | None -> ())
+          args
+    | Texp_setfield (_, _, ld, v) when stores_packet v ->
+        report v.exp_loc
+          (Printf.sprintf
+             "pooled packet escapes into mutable field `%s`; justify the \
+              ownership transfer or the pool may recycle it in place"
+             ld.Types.lbl_name);
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+      when List.mem (Flow_common.path_last p) container_fns ->
+        List.iter
+          (fun (_, arg) ->
+            match arg with
+            | Some (a : expression) when stores_packet a ->
+                report a.exp_loc
+                  (Printf.sprintf
+                     "pooled packet escapes into a container via `%s`; \
+                      justify the ownership transfer or the pool may \
+                      recycle it in place"
+                     (Flow_common.path_last p))
+            | _ -> ())
+          args;
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+      when List.mem (Flow_common.path_last p) schedule_fns ->
+        List.iter
+          (fun (_, arg) ->
+            match arg with
+            | Some ({ exp_desc = Texp_function _; _ } as fn) ->
+                List.iter
+                  (fun (id, loc) ->
+                    report loc
+                      (Printf.sprintf
+                         "pooled `%s` captured by a closure deferred via \
+                          `%s`; it may be recycled before the closure runs"
+                         (Ident.name id)
+                         (Flow_common.path_last p)))
+                  (captured_packets fn)
+            | _ -> ())
+          args;
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_ifthenelse (cond, then_, else_) ->
+        sub.expr sub cond;
+        let before = !freed in
+        sub.expr sub then_;
+        let after_then = !freed in
+        freed := before;
+        (match else_ with Some e2 -> sub.expr sub e2 | None -> ());
+        freed := merge after_then !freed
+    | Texp_match (scrut, cases, _) ->
+        sub.expr sub scrut;
+        let before = !freed in
+        let out = ref before in
+        List.iter
+          (fun c ->
+            freed := before;
+            (match c.c_guard with Some g -> sub.expr sub g | None -> ());
+            sub.expr sub c.c_rhs;
+            out := merge !out !freed)
+          cases;
+        freed := !out
+    | Texp_try (body, cases) ->
+        let before = !freed in
+        sub.expr sub body;
+        let out = ref !freed in
+        List.iter
+          (fun c ->
+            freed := before;
+            (match c.c_guard with Some g -> sub.expr sub g | None -> ());
+            sub.expr sub c.c_rhs;
+            out := merge !out !freed)
+          cases;
+        freed := !out
+    | Texp_while (cond, body) ->
+        (* One pass over the body: cross-iteration hazards are out of
+           scope (see the header comment). *)
+        sub.expr sub cond;
+        let before = !freed in
+        sub.expr sub body;
+        freed := merge before !freed
+    | Texp_for (_, _, lo, hi, _, body) ->
+        sub.expr sub lo;
+        sub.expr sub hi;
+        let before = !freed in
+        sub.expr sub body;
+        freed := merge before !freed
+    | _ -> Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it input.Flow_common.str;
+  List.rev !findings
+
+let analyze (inputs : Flow_common.input list) =
+  let summaries = build_summaries inputs in
+  inputs
+  |> List.filter (fun i ->
+         (* packet.ml implements the pool: freeing into the free list is
+            its job, not a lifetime violation. *)
+         not (Flow_common.basename_is i.Flow_common.src_file "packet.ml"))
+  |> List.concat_map (analyze_input summaries)

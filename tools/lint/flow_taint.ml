@@ -1,0 +1,232 @@
+(* Interprocedural determinism taint (rule [determinism-taint]).
+
+   The parse tier bans direct nondeterminism — [Random.*] (unseeded
+   RNG), [Unix.gettimeofday] / [Sys.time] (wallclock), [Hashtbl.iter] /
+   [Hashtbl.fold] (hash order) — but a one-line wrapper launders all
+   three: [let jitter () = Random.float 1e-6] passes the parse tier at
+   every call site. This pass closes the loophole with per-function
+   summaries joined to a fixed point across all analyzed files:
+
+   - a function's body containing a banned use is a taint source for
+     that kind, unless the site carries a justified
+     [(* lint: allow <kind-rule> — ... *)] (contained: the
+     nondeterminism provably does not reach simulation results, e.g.
+     profiling metadata). A [(* lint: taint <kind-rule> — ... *)]
+     pragma declares the opposite: by-design nondeterminism that
+     propagates to callers;
+   - any reference to a tainted function — call or higher-order pass —
+     taints the referencing function in turn, unless the site carries
+     [(* lint: allow determinism-taint — ... *)] (containment) or
+     [(* lint: taint <kind-rule> — ... *)] for every carried kind
+     (declared propagation);
+   - every reference neither contained nor declared is reported.
+
+   Summaries cover top-level [let]-bound functions, keyed
+   ["Module.name"]; taint inside module-initialization code or local
+   closures is attributed to the enclosing top-level binding. Soundness
+   limits (DESIGN.md §13): calls through record fields, functor
+   arguments, or function-typed parameters carry no summary. *)
+
+open Typedtree
+
+let rule = "determinism-taint"
+
+type kind = Wallclock | Rng | Hash_order
+
+let kind_rule = function
+  | Wallclock -> "no-wallclock"
+  | Rng -> "no-unseeded-random"
+  | Hash_order -> "no-hash-order"
+
+let kind_name = function
+  | Wallclock -> "wallclock"
+  | Rng -> "unseeded-RNG"
+  | Hash_order -> "hash-order"
+
+let banned_kind p : kind option =
+  match p with
+  | Path.Pdot (pm, n) -> (
+      let m =
+        match pm with
+        | Path.Pident id -> Ident.name id
+        | Path.Pdot (_, pmn) -> pmn
+        | _ -> ""
+      in
+      match (m, n) with
+      | "Random", _ -> Some Rng
+      | "Unix", "gettimeofday" | "Sys", "time" -> Some Wallclock
+      | "Hashtbl", ("iter" | "fold") -> Some Hash_order
+      | _ -> None)
+  | _ -> None
+
+(* ---- pragma queries ------------------------------------------------------ *)
+
+let covers (p : Lint_engine.pragma) line =
+  line >= p.Lint_engine.p_sline && line <= p.Lint_engine.p_eline + 1
+
+(* Both queries mark matching pragmas used, so a pragma whose only job
+   is containing/declaring taint is not reported stale by the driver. *)
+let allowed pragmas ~rule:r line =
+  List.fold_left
+    (fun acc p ->
+      if
+        p.Lint_engine.p_kind = Lint_engine.Allow
+        && p.Lint_engine.p_known && p.Lint_engine.p_justified
+        && p.Lint_engine.p_rule = r && covers p line
+      then begin
+        p.Lint_engine.p_used <- true;
+        true
+      end
+      else acc)
+    false pragmas
+
+let declared pragmas ~kind line =
+  List.fold_left
+    (fun acc p ->
+      if
+        p.Lint_engine.p_kind = Lint_engine.Taint
+        && p.Lint_engine.p_known && p.Lint_engine.p_justified
+        && p.Lint_engine.p_rule = kind_rule kind
+        && covers p line
+      then begin
+        p.Lint_engine.p_used <- true;
+        true
+      end
+      else acc)
+    false pragmas
+
+(* ---- per-function facts -------------------------------------------------- *)
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+(* References to other top-level values in [body]: (callee key, loc). *)
+let collect_refs ~cur_module body =
+  let refs = ref [] in
+  let expr (sub : Tast_iterator.iterator) (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) when banned_kind p = None ->
+        refs := (Flow_common.callee_name ~cur_module p, e.exp_loc) :: !refs
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it body;
+  List.rev !refs
+
+let collect_direct ~pragmas body =
+  let kinds = ref [] in
+  let expr (sub : Tast_iterator.iterator) (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) -> (
+        match banned_kind p with
+        | Some k ->
+            let line = line_of e.exp_loc in
+            let source =
+              declared pragmas ~kind:k line
+              || not (allowed pragmas ~rule:(kind_rule k) line)
+            in
+            if source && not (List.mem k !kinds) then kinds := k :: !kinds
+        | None -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it body;
+  !kinds
+
+type fn = {
+  f_key : string;
+  f_file : string;
+  f_pragmas : Lint_engine.pragma list;
+  f_direct : kind list;
+  f_refs : (string * Location.t) list;
+}
+
+let collect_fns (input : Flow_common.input) : fn list =
+  let pragmas = input.Flow_common.pragmas in
+  let fns = ref [] in
+  let structure_item (sub : Tast_iterator.iterator) (si : structure_item) =
+    (match si.str_desc with
+    | Tstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            match vb.vb_pat.pat_desc with
+            | Tpat_var (id, _) ->
+                fns :=
+                  {
+                    f_key = input.Flow_common.modname ^ "." ^ Ident.name id;
+                    f_file = input.Flow_common.src_file;
+                    f_pragmas = pragmas;
+                    f_direct = collect_direct ~pragmas vb.vb_expr;
+                    f_refs =
+                      collect_refs ~cur_module:input.Flow_common.modname
+                        vb.vb_expr;
+                  }
+                  :: !fns
+            | _ -> ())
+          vbs
+    | _ -> ());
+    Tast_iterator.default_iterator.structure_item sub si
+  in
+  let it = { Tast_iterator.default_iterator with structure_item } in
+  it.structure it input.Flow_common.str;
+  List.rev !fns
+
+(* ---- fixed point and reporting ------------------------------------------- *)
+
+let analyze (inputs : Flow_common.input list) =
+  let fns = List.concat_map collect_fns inputs in
+  let taints : (string, kind list) Hashtbl.t = Hashtbl.create 64 in
+  let get key = Option.value ~default:[] (Hashtbl.find_opt taints key) in
+  List.iter
+    (fun f -> if f.f_direct <> [] then Hashtbl.replace taints f.f_key f.f_direct)
+    fns;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        let acc = ref (get f.f_key) in
+        List.iter
+          (fun (callee, loc) ->
+            if callee <> f.f_key then
+              let ks = get callee in
+              if ks <> [] && not (allowed f.f_pragmas ~rule (line_of loc))
+              then
+                List.iter
+                  (fun k -> if not (List.mem k !acc) then acc := k :: !acc)
+                  ks)
+          f.f_refs;
+        if List.length !acc > List.length (get f.f_key) then begin
+          Hashtbl.replace taints f.f_key !acc;
+          changed := true
+        end)
+      fns
+  done;
+  (* Report every reference to a tainted function that neither contains
+     ([allow determinism-taint]) nor declares ([taint <kind-rule>], all
+     kinds) the propagation. *)
+  List.concat_map
+    (fun f ->
+      List.filter_map
+        (fun (callee, loc) ->
+          let ks = if callee = f.f_key then [] else get callee in
+          if ks = [] then None
+          else
+            let line = line_of loc in
+            if allowed f.f_pragmas ~rule line then None
+            else if List.for_all (fun k -> declared f.f_pragmas ~kind:k line) ks
+            then None
+            else
+              Some
+                (Flow_common.finding ~rule ~file:f.f_file loc
+                   (Printf.sprintf
+                      "`%s` carries %s taint; contain it with (* lint: allow \
+                       determinism-taint — ... *) or declare it with (* lint: \
+                       taint %s — ... *)"
+                      callee
+                      (String.concat "+" (List.map kind_name ks))
+                      (kind_rule (List.hd ks)))))
+        f.f_refs)
+    fns
+  |> List.sort_uniq Lint_engine.compare_findings

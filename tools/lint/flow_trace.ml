@@ -1,0 +1,117 @@
+(* Trace-guard analysis (rule [trace-unguarded]).
+
+   PR 3's trace bus promises zero cost when tracing is off: every
+   [Trace.emit] call — and every [Trace.event] allocation feeding one —
+   must be dominated by a [Trace.on ()] check. An unguarded emit
+   allocates an event record on the hot path of every untraced run.
+
+   The pass walks each function body with a guardedness flag:
+
+   - [if Trace.on () then e] makes [e] guarded; [if not (Trace.on ())
+     then a else b] makes [b] guarded; [&&] / [||] / [not] combine with
+     the usual polarity rules (a conjunct containing [Trace.on ()]
+     guards the then-branch; a disjunct containing [not (Trace.on ())]
+     guards the else-branch);
+   - guardedness flows into closures created in a guarded region —
+     sound here because [Trace.on ()] is constant for the lifetime of a
+     run;
+   - an unguarded [Trace.emit] application, or an unguarded
+     [Trace.event] construction (the allocation), is flagged. A
+     construction that is the argument of an already-flagged emit on the
+     same line is not double-reported.
+
+   [trace.ml] itself (the bus implementation) is exempt. Guarding
+   laundered through a boolean variable ([let on = Trace.on () in if on
+   then ...]) is not recognized — call [Trace.on ()] directly in the
+   condition, or suppress with
+   [(* lint: allow trace-unguarded — <reason> *)]. *)
+
+open Typedtree
+
+let rule = "trace-unguarded"
+
+let is_unit_apply_of e ~m ~n =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, [ (_, Some _) ]) ->
+      Flow_common.path_is p ~m ~n
+  | _ -> false
+
+let is_trace_on e = is_unit_apply_of e ~m:"Trace" ~n:"on"
+
+type polarity = Pos | Neg | Unknown
+
+(* Polarity of a guard condition w.r.t. tracing: [Pos] means "true only
+   if tracing is on", [Neg] means "true only if tracing is off". *)
+let rec polarity (e : expression) : polarity =
+  if is_trace_on e then Pos
+  else
+    match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, [ (_, Some a) ])
+      when Flow_common.path_last p = "not" -> (
+        match polarity a with Pos -> Neg | Neg -> Pos | Unknown -> Unknown)
+    | Texp_apply
+        ({ exp_desc = Texp_ident (p, _, _); _ }, [ (_, Some a); (_, Some b) ])
+      -> (
+        match Flow_common.path_last p with
+        | "&&" ->
+            if polarity a = Pos || polarity b = Pos then Pos else Unknown
+        | "||" ->
+            if polarity a = Neg || polarity b = Neg then Neg else Unknown
+        | _ -> Unknown)
+    | _ -> Unknown
+
+let is_trace_event_type ty = Flow_common.type_is_constr ty ~m:"Trace" ~n:"event"
+
+let analyze_input (input : Flow_common.input) =
+  let file = input.Flow_common.src_file in
+  let findings = ref [] in
+  let reported_lines = Hashtbl.create 8 in
+  let report loc msg =
+    Hashtbl.replace reported_lines loc.Location.loc_start.Lexing.pos_lnum ();
+    findings := Flow_common.finding ~rule ~file loc msg :: !findings
+  in
+  let guarded = ref false in
+  let expr (sub : Tast_iterator.iterator) (e : expression) =
+    match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _)
+      when Flow_common.path_is p ~m:"Trace" ~n:"emit" ->
+        if not !guarded then begin
+          report e.exp_loc
+            "`Trace.emit` not dominated by a `Trace.on ()` guard — this \
+             allocates and emits even when tracing is off";
+          (* One finding covers the whole site: don't also flag the
+             event allocation feeding this emit. *)
+          guarded := true;
+          Tast_iterator.default_iterator.expr sub e;
+          guarded := false
+        end
+        else Tast_iterator.default_iterator.expr sub e
+    | Texp_construct (_, _, _)
+      when is_trace_event_type e.exp_type && not !guarded
+           && not
+                (Hashtbl.mem reported_lines
+                   e.exp_loc.Location.loc_start.Lexing.pos_lnum) ->
+        report e.exp_loc
+          "`Trace.event` allocated outside a `Trace.on ()` guard — the \
+           allocation is not free when tracing is off";
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_ifthenelse (cond, then_, else_) ->
+        let saved = !guarded in
+        sub.expr sub cond;
+        let pol = polarity cond in
+        guarded := saved || pol = Pos;
+        sub.expr sub then_;
+        guarded := saved || pol = Neg;
+        (match else_ with Some e2 -> sub.expr sub e2 | None -> ());
+        guarded := saved
+    | _ -> Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it input.Flow_common.str;
+  List.rev !findings
+
+let analyze (inputs : Flow_common.input list) =
+  inputs
+  |> List.filter (fun i ->
+         not (Flow_common.basename_is i.Flow_common.src_file "trace.ml"))
+  |> List.concat_map analyze_input

@@ -1,0 +1,170 @@
+(* Units-of-measure analysis (rule [unit-mismatch]).
+
+   The simulator passes seconds, bytes, bits/sec, and dimensionless
+   ratios around as bare [float]s; the type checker is blind to a
+   [deadline_s +. rate_bps]. This pass assigns each float expression a
+   dimension seeded from the naming conventions used across [lib/sim]
+   and [lib/transport]:
+
+   - [Time_s]:     suffix [_s] / [_time] / [_at], names [now] / [time] /
+                   [fct] / [deadline] / [rtt] / [srtt]
+   - [Bytes]:      suffix [_bytes], name [bytes]
+   - [Bits_per_s]: suffix [_bps]
+   - [Ratio]:      suffix [_ratio] / [_frac], names [utilization] / [alpha]
+
+   and flags [+.], [-.], comparisons ([<], [<=], [>], [>=], [=], [<>]),
+   [min]/[max]/[compare] (bare or [Float.]-qualified) whose two operands
+   have *known, different* dimensions. Multiplication, division, and
+   [**] legitimately change dimension, so their results are unknown;
+   unknown never flags. The inference is purely name-driven and
+   intraprocedural — a mismatch laundered through an unsuffixed
+   intermediate is missed (soundness limits in DESIGN.md §13). Suppress
+   a deliberate mix with [(* lint: allow unit-mismatch — <reason> *)]. *)
+
+open Typedtree
+
+let rule = "unit-mismatch"
+
+type dim = Time_s | Bytes | Bits_per_s | Ratio
+
+let dim_name = function
+  | Time_s -> "time_s"
+  | Bytes -> "bytes"
+  | Bits_per_s -> "bits_per_s"
+  | Ratio -> "ratio"
+
+let ends_with s suf =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.sub s (ls - lf) lf = suf
+
+let dim_of_name name =
+  let n = String.lowercase_ascii name in
+  if
+    ends_with n "_s" || ends_with n "_time" || ends_with n "_at"
+    || List.mem n [ "now"; "time"; "fct"; "deadline"; "rtt"; "srtt" ]
+  then Some Time_s
+  else if ends_with n "_bytes" || n = "bytes" then Some Bytes
+  else if ends_with n "_bps" then Some Bits_per_s
+  else if
+    ends_with n "_ratio" || ends_with n "_frac"
+    || List.mem n [ "utilization"; "alpha" ]
+  then Some Ratio
+  else None
+
+let first_known dims = List.find_opt (fun _ -> true) (List.filter_map Fun.id dims)
+
+(* Operators/functions where mixing dimensions across the two arguments
+   is meaningless. *)
+let additive = [ "+."; "-." ]
+let comparisons = [ "<"; "<="; ">"; ">="; "="; "<>" ]
+let dim_preserving_pair = [ "min"; "max"; "compare" ]
+let dim_preserving_one = [ "abs_float"; "abs"; "~-."; "neg" ]
+
+(* [env] carries dimensions inferred for let-bound identifiers whose
+   names don't follow the suffix conventions ([let left = deadline_s -.
+   now in ...]), so one unsuffixed intermediate doesn't launder a
+   dimension. Idents are globally unique in a typedtree, so a flat table
+   needs no scoping. *)
+let rec dim_of env (e : expression) : dim option =
+  if not (Flow_common.type_is_float e.exp_type) then None
+  else
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> (
+        match dim_of_name (Ident.name id) with
+        | Some d -> Some d
+        | None -> Hashtbl.find_opt env id)
+    | Texp_ident (p, _, _) -> dim_of_name (Flow_common.path_last p)
+    | Texp_field (_, _, ld) -> dim_of_name ld.Types.lbl_name
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+        let name = Flow_common.path_last p in
+        let arg_dims =
+          List.filter_map (fun (_, a) -> Option.map (dim_of env) a) args
+        in
+        if List.mem name additive || List.mem name dim_preserving_pair then
+          first_known arg_dims
+        else if List.mem name dim_preserving_one then first_known arg_dims
+        else if List.mem name [ "*."; "/."; "**" ] then None
+        else
+          (* a full application returning float: trust the callee's
+             name, e.g. [Engine.now eng] is a time. *)
+          dim_of_name name)
+    | Texp_ifthenelse (_, t, Some e2) ->
+        first_known [ dim_of env t; dim_of env e2 ]
+    | Texp_let (_, _, b) | Texp_sequence (_, b) -> dim_of env b
+    | Texp_match (_, cases, _) ->
+        first_known (List.map (fun c -> dim_of env c.c_rhs) cases)
+    | Texp_open (_, b) -> dim_of env b
+    | _ -> None
+
+let analyze_input (input : Flow_common.input) =
+  let file = input.Flow_common.src_file in
+  let findings = ref [] in
+  let env : (Ident.t, dim) Hashtbl.t = Hashtbl.create 64 in
+  let check loc what a b =
+    match (dim_of env a, dim_of env b) with
+    | Some d1, Some d2 when d1 <> d2 ->
+        findings :=
+          Flow_common.finding ~rule ~file loc
+            (Printf.sprintf
+               "%s mixes dimensions: left operand is %s, right is %s" what
+               (dim_name d1) (dim_name d2))
+          :: !findings
+    | _ -> ()
+  in
+  (* Labeled arguments carry the callee's naming convention: passing a
+     known dimension into [~delay_s:]/[~rate_bps:]/[~data_bytes:] etc.
+     with a *different* known dimension is a cross-dimension hand-off. *)
+  let check_labeled_args args =
+    List.iter
+      (fun (lbl, arg) ->
+        match (lbl, arg) with
+        | (Asttypes.Labelled l | Asttypes.Optional l), Some (a : expression)
+          when Flow_common.type_is_float a.exp_type -> (
+            match (dim_of_name l, dim_of env a) with
+            | Some want, Some got when want <> got ->
+                findings :=
+                  Flow_common.finding ~rule ~file a.exp_loc
+                    (Printf.sprintf
+                       "argument ~%s expects %s but the value passed is %s" l
+                       (dim_name want) (dim_name got))
+                  :: !findings
+            | _ -> ())
+        | _ -> ())
+      args
+  in
+  let expr (sub : Tast_iterator.iterator) (e : expression) =
+    (match e.exp_desc with
+    | Texp_let (_, vbs, _) ->
+        (* Record dims for plain-variable bindings before the default
+           iteration reaches the body. *)
+        List.iter
+          (fun vb ->
+            match vb.vb_pat.pat_desc with
+            | Tpat_var (id, _) when dim_of_name (Ident.name id) = None -> (
+                match dim_of env vb.vb_expr with
+                | Some d -> Hashtbl.replace env id d
+                | None -> ())
+            | _ -> ())
+          vbs
+    | Texp_apply
+        ( { exp_desc = Texp_ident (p, _, _); _ },
+          ([ (_, Some a); (_, Some b) ] as args) ) ->
+        let name = Flow_common.path_last p in
+        if List.mem name additive && Flow_common.type_is_float a.exp_type then
+          check e.exp_loc (Printf.sprintf "`%s`" name) a b
+        else if
+          (List.mem name comparisons || List.mem name dim_preserving_pair)
+          && Flow_common.type_is_float a.exp_type
+          && Flow_common.type_is_float b.exp_type
+        then check e.exp_loc (Printf.sprintf "`%s`" name) a b
+        else check_labeled_args args
+    | Texp_apply (_, args) -> check_labeled_args args
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it input.Flow_common.str;
+  List.rev !findings
+
+let analyze (inputs : Flow_common.input list) =
+  List.concat_map analyze_input inputs

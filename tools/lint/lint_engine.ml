@@ -17,23 +17,16 @@ let rule_ids =
     "no-poly-compare-sort";
   ]
 
-(* Per-rule file allowlists: the one blessed implementation site of each
-   banned construct. Matched as a path suffix so the linter works from the
-   repo root, from _build sandboxes, and over relative paths alike. *)
-let allowed_files = function
-  | "no-unseeded-random" -> [ "lib/sim/rng.ml" ]
-  | "no-wallclock" -> [ "lib/workload/parallel.ml" ]
-  | "no-hash-order" -> [ "lib/sim/det_tbl.ml" ]
-  | "no-marshal" -> [ "lib/workload/result_codec.ml" ]
-  | _ -> []
+(* Rules enforced by the typedtree dataflow tier (lint_flow). The parse
+   tier must know them so their pragmas parse, but it neither raises nor
+   stale-checks them: only the tier that runs an analysis can tell whether
+   its pragma still suppresses something. *)
+let typed_rule_ids =
+  [ "pool-lifetime"; "unit-mismatch"; "trace-unguarded"; "determinism-taint" ]
 
-let normalize_path p = String.map (fun c -> if c = '\\' then '/' else c) p
-
-let file_allowed ~file rule =
-  let file = normalize_path file in
-  List.exists
-    (fun a -> file = a || Filename.check_suffix file ("/" ^ a))
-    (allowed_files rule)
+(* The nondeterminism sources whose taint the typed tier propagates through
+   the call graph. Only these may appear in a [taint] pragma. *)
+let taintable_rule_ids = [ "no-unseeded-random"; "no-wallclock"; "no-hash-order" ]
 
 (* ---- comment / pragma scanning ------------------------------------------ *)
 
@@ -177,12 +170,16 @@ let scan_comments src =
   done;
   List.rev !comments
 
+type pragma_kind = Allow | Taint
+
 type pragma = {
+  p_kind : pragma_kind;
   p_rule : string;
   p_known : bool;
   p_justified : bool;
   p_sline : int;
   p_eline : int;
+  mutable p_used : bool;
 }
 
 let starts_with ~prefix s =
@@ -202,35 +199,59 @@ let strip_separator s =
   done;
   drop_prefix s !k
 
+(* Pragmas may stack inside one comment, one per line:
+   [(* lint: allow r1 — x
+        lint: allow r2 — y *)]. Splitting on lines keeps the grammar
+   unambiguous (a justification never spans lines). *)
 let parse_pragma (c : comment) =
-  let t = String.trim c.text in
-  if not (starts_with ~prefix:"lint:" t) then None
-  else
-    let rest = String.trim (drop_prefix t 5) in
-    if not (starts_with ~prefix:"allow" rest) then
-      Some
-        {
-          p_rule = "";
-          p_known = false;
-          p_justified = false;
-          p_sline = c.sline;
-          p_eline = c.eline;
-        }
-    else
-      let rest = String.trim (drop_prefix rest 5) in
-      let rule, tail =
-        match String.index_opt rest ' ' with
-        | None -> (rest, "")
-        | Some k -> (String.sub rest 0 k, drop_prefix rest k)
-      in
-      Some
-        {
-          p_rule = rule;
-          p_known = List.mem rule rule_ids;
-          p_justified = String.trim (strip_separator tail) <> "";
-          p_sline = c.sline;
-          p_eline = c.eline;
-        }
+  let lines = String.split_on_char '\n' c.text in
+  List.concat_map
+    (fun (off, ln) ->
+      let t = String.trim ln in
+      if not (starts_with ~prefix:"lint:" t) then []
+      else
+        let sline = c.sline + off in
+        let mk kind rest =
+          let rule, tail =
+            match String.index_opt rest ' ' with
+            | None -> (rest, "")
+            | Some k -> (String.sub rest 0 k, drop_prefix rest k)
+          in
+          let known =
+            match kind with
+            | Allow -> List.mem rule (rule_ids @ typed_rule_ids)
+            | Taint -> List.mem rule taintable_rule_ids
+          in
+          [
+            {
+              p_kind = kind;
+              p_rule = rule;
+              p_known = known;
+              p_justified = String.trim (strip_separator tail) <> "";
+              p_sline = sline;
+              p_eline = c.eline;
+              p_used = false;
+            };
+          ]
+        in
+        let rest = String.trim (drop_prefix t 5) in
+        if starts_with ~prefix:"allow " rest || rest = "allow" then
+          mk Allow (String.trim (drop_prefix rest 5))
+        else if starts_with ~prefix:"taint " rest || rest = "taint" then
+          mk Taint (String.trim (drop_prefix rest 5))
+        else
+          [
+            {
+              p_kind = Allow;
+              p_rule = "";
+              p_known = false;
+              p_justified = false;
+              p_sline = sline;
+              p_eline = c.eline;
+              p_used = false;
+            };
+          ])
+    (List.mapi (fun i ln -> (i, ln)) lines)
 
 (* ---- AST rules ----------------------------------------------------------- *)
 
@@ -300,10 +321,12 @@ let is_sort_fn = function
   | _ -> false
 
 (* A bare polymorphic [compare] (or [Stdlib.compare]) passed as a
-   comparator. Structural compare is not a total order on floats (nan
-   compares inconsistently with itself), so a sort keyed on it can return
-   different permutations for equal multisets. *)
-let is_poly_compare (e : Parsetree.expression) =
+   comparator — directly, or eta-expanded as [(fun a b -> compare a b)]
+   (either argument order; a flipped comparator is still keyed on the
+   polymorphic order). Structural compare is not a total order on floats
+   (nan compares inconsistently with itself), so a sort keyed on it can
+   return different permutations for equal multisets. *)
+let is_poly_compare_ident (e : Parsetree.expression) =
   match e.Parsetree.pexp_desc with
   | Parsetree.Pexp_ident
       {
@@ -315,21 +338,54 @@ let is_poly_compare (e : Parsetree.expression) =
       true
   | _ -> false
 
+let is_poly_compare (e : Parsetree.expression) =
+  let pat_var (p : Parsetree.pattern) =
+    match p.Parsetree.ppat_desc with
+    | Parsetree.Ppat_var { txt; _ } -> Some txt
+    | _ -> None
+  in
+  let arg_var (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt = Longident.Lident v; _ } -> Some v
+    | _ -> None
+  in
+  if is_poly_compare_ident e then true
+  else
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_fun
+        ( Asttypes.Nolabel,
+          None,
+          pa,
+          {
+            Parsetree.pexp_desc =
+              Parsetree.Pexp_fun (Asttypes.Nolabel, None, pb, body);
+            _;
+          } ) -> (
+        match (pat_var pa, pat_var pb, body.Parsetree.pexp_desc) with
+        | ( Some a,
+            Some b,
+            Parsetree.Pexp_apply
+              (f, [ (Asttypes.Nolabel, x); (Asttypes.Nolabel, y) ]) )
+          when is_poly_compare_ident f -> (
+            match (arg_var x, arg_var y) with
+            | Some xa, Some yb -> (xa = a && yb = b) || (xa = b && yb = a)
+            | _ -> false)
+        | _ -> false)
+    | _ -> false
+
 let collect_ast_findings ~file ast =
   let acc = ref [] in
   let report rule loc detail =
-    if not (file_allowed ~file rule) then begin
-      let pos = loc.Location.loc_start in
-      acc :=
-        {
-          rule;
-          file;
-          line = pos.Lexing.pos_lnum;
-          col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
-          message = detail;
-        }
-        :: !acc
-    end
+    let pos = loc.Location.loc_start in
+    acc :=
+      {
+        rule;
+        file;
+        line = pos.Lexing.pos_lnum;
+        col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+        message = detail;
+      }
+      :: !acc
   in
   let check_ident lid loc =
     match rule_of_ident lid with
@@ -407,43 +463,101 @@ let collect_ast_findings ~file ast =
 let compare_findings a b =
   compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule)
 
+let pragmas_of_source src =
+  List.concat_map parse_pragma (scan_comments src)
+
+let bad_pragma_findings ~file pragmas =
+  List.filter_map
+    (fun p ->
+      if p.p_known && p.p_justified then None
+      else
+        Some
+          {
+            rule = "bad-pragma";
+            file;
+            line = p.p_sline;
+            col = 0;
+            message =
+              (if not p.p_known then
+                 match p.p_kind with
+                 | Taint when p.p_rule <> "" ->
+                     Printf.sprintf
+                       "rule %S is not a propagatable nondeterminism source; \
+                        `lint: taint` accepts: %s"
+                       p.p_rule
+                       (String.concat ", " taintable_rule_ids)
+                 | _ ->
+                     Printf.sprintf "unknown lint rule %S; expected one of: %s"
+                       p.p_rule
+                       (String.concat ", " (rule_ids @ typed_rule_ids))
+               else
+                 "pragma has no justification; write `(* lint: allow <rule> \
+                  — <reason> *)`");
+          })
+    pragmas
+
+(* [allow] and [taint] both suppress the finding at the site; [taint]
+   additionally marks the enclosing function as nondeterministic for the
+   typed tier's propagation pass. Marks matching pragmas used (the input
+   to stale-pragma detection). *)
+let suppress ~pragmas findings =
+  List.filter
+    (fun (f : finding) ->
+      let matching =
+        List.filter
+          (fun p ->
+            p.p_known && p.p_justified && p.p_rule = f.rule
+            && f.line >= p.p_sline
+            && f.line <= p.p_eline + 1)
+          pragmas
+      in
+      List.iter (fun p -> p.p_used <- true) matching;
+      matching = [])
+    findings
+
+(* A justified pragma for one of [rules] that suppressed nothing is dead
+   weight: either the violation it excused was fixed (delete the pragma)
+   or the pragma drifted away from its site (move it back). Each tier
+   stale-checks only the rules it actually ran, so a typed-tier pragma is
+   never misreported stale by the parse tier. *)
+let stale_pragma_findings ~file ~rules pragmas =
+  List.filter_map
+    (fun p ->
+      if
+        p.p_known && p.p_justified && (not p.p_used) && List.mem p.p_rule rules
+        (* A taint pragma is a standing declaration about the function, not
+           a per-finding waiver: it stays meaningful (the typed tier reads
+           it) even on a line the parse tier finds nothing on. *)
+        && p.p_kind = Allow
+      then
+        Some
+          {
+            rule = "stale-pragma";
+            file;
+            line = p.p_sline;
+            col = 0;
+            message =
+              Printf.sprintf
+                "allow-pragma for %S no longer suppresses anything; delete \
+                 it (or move it back to the violating line)"
+                p.p_rule;
+          }
+      else None)
+    pragmas
+
 let lint_source ~file src =
-  let comments = scan_comments src in
-  let pragmas = List.filter_map parse_pragma comments in
-  let bad_pragmas =
-    List.filter_map
-      (fun p ->
-        if p.p_known && p.p_justified then None
-        else
-          Some
-            {
-              rule = "bad-pragma";
-              file;
-              line = p.p_sline;
-              col = 0;
-              message =
-                (if not p.p_known then
-                   Printf.sprintf
-                     "unknown lint rule %S; expected one of: %s" p.p_rule
-                     (String.concat ", " rule_ids)
-                 else
-                   "pragma has no justification; write `(* lint: allow \
-                    <rule> — <reason> *)`");
-            })
-      pragmas
-  in
-  let suppressed (f : finding) =
-    List.exists
-      (fun p ->
-        p.p_known && p.p_justified && p.p_rule = f.rule && f.line >= p.p_sline
-        && f.line <= p.p_eline + 1)
-      pragmas
-  in
+  let pragmas = pragmas_of_source src in
+  let bad_pragmas = bad_pragma_findings ~file pragmas in
   let ast_findings =
     let lexbuf = Lexing.from_string src in
     Location.init lexbuf file;
     match Parse.implementation lexbuf with
-    | ast -> List.filter (fun f -> not (suppressed f)) (collect_ast_findings ~file ast)
+    | ast ->
+        (* Stale detection is only meaningful when the rules actually ran
+           over a parsed AST. Bind the suppressed findings first: [suppress]
+           marks pragmas used, and [@]'s operand order is unspecified. *)
+        let kept = suppress ~pragmas (collect_ast_findings ~file ast) in
+        kept @ stale_pragma_findings ~file ~rules:rule_ids pragmas
     | exception exn ->
         let line =
           match exn with
@@ -491,3 +605,24 @@ let lint_paths paths =
 
 let pp_finding ppf f =
   Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json ~tier f =
+  Printf.sprintf
+    "{\"tier\":\"%s\",\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+    (json_escape tier) (json_escape f.rule) (json_escape f.file) f.line f.col
+    (json_escape f.message)

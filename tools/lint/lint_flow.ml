@@ -1,0 +1,130 @@
+(* Typedtree dataflow tier: driver.
+
+   Loads [.cmt] files produced by [dune build @check], maps each back to
+   its source file, and runs the four dataflow analyses over the typed
+   trees:
+
+   - {!Flow_pool}:  [pool-lifetime]      — use/re-free after [Packet.free]
+   - {!Flow_units}: [unit-mismatch]      — seconds/bytes/bps/ratio mixing
+   - {!Flow_trace}: [trace-unguarded]    — [Trace.emit] outside [Trace.on ()]
+   - {!Flow_taint}: [determinism-taint]  — interprocedural wallclock/RNG/
+                                           hash-order propagation
+
+   Findings are suppressed by the same in-source pragma grammar as the
+   parse tier, and allow-pragmas for typed rules that suppress nothing
+   are reported stale. See DESIGN.md §13. *)
+
+let typed_tier = "typed"
+
+(* ---- cmt discovery ------------------------------------------------------- *)
+
+(* All .cmt files under [root]. Dune hides object directories behind dot
+   names ([.sim.objs/byte/...]), so — unlike the parse tier's source
+   walk — dot-directories are descended into. *)
+let rec cmt_files_under root acc =
+  match Sys.readdir root with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.sort compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let p = Filename.concat root entry in
+          if Sys.is_directory p then cmt_files_under p acc
+          else if Filename.check_suffix entry ".cmt" then p :: acc
+          else acc)
+        acc entries
+
+(* [under_one_of ~only src] — is [src] one of [only] or inside one of
+   those directories? Component-aware: ["lib"] matches ["lib/sim/x.ml"]
+   but not ["library.ml"]. *)
+let under_one_of ~only src =
+  let strip p =
+    if String.length p > 2 && String.sub p 0 2 = "./" then
+      String.sub p 2 (String.length p - 2)
+    else p
+  in
+  let src = strip src in
+  List.exists
+    (fun p ->
+      let p = strip p in
+      p = "." || p = ""
+      || src = p
+      || String.length src > String.length p
+         && String.sub src 0 (String.length p + 1) = p ^ "/")
+    only
+
+let input_of_typed ~src_file ~source (str : Typedtree.structure) :
+    Flow_common.input =
+  {
+    Flow_common.src_file;
+    modname = Flow_common.module_name_of_source src_file;
+    str;
+    source;
+    pragmas =
+      (match source with
+      | Some s -> Lint_engine.pragmas_of_source s
+      | None -> []);
+  }
+
+(* Read one cmt; [None] for interfaces, packs, partial cmts, or files
+   whose recorded source falls outside [only]. *)
+let input_of_cmt ~only cmt_path : Flow_common.input option =
+  match Cmt_format.read_cmt cmt_path with
+  | exception _ -> None
+  | cmt -> (
+      match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+      | Cmt_format.Implementation str, Some src
+        when under_one_of ~only src ->
+          let source =
+            match In_channel.with_open_bin src In_channel.input_all with
+            | s -> Some s
+            | exception Sys_error _ -> None
+          in
+          Some (input_of_typed ~src_file:src ~source str)
+      | _ -> None)
+
+(* Inputs for every implementation under [only] (source-relative paths,
+   e.g. [["lib"; "bench"]]) whose cmt lives under [cmt_root]. One input
+   per source file: dune builds some modules into several object
+   directories (library + executable), and analyzing both would double
+   every finding. *)
+let inputs_under ~cmt_root ~only : Flow_common.input list =
+  let seen = Hashtbl.create 64 in
+  cmt_files_under cmt_root []
+  |> List.sort compare
+  |> List.filter_map (fun cmt -> input_of_cmt ~only cmt)
+  |> List.filter (fun (i : Flow_common.input) ->
+         if Hashtbl.mem seen i.Flow_common.src_file then false
+         else begin
+           Hashtbl.add seen i.Flow_common.src_file ();
+           true
+         end)
+
+(* ---- analysis ------------------------------------------------------------ *)
+
+(* Raw findings from the four passes, unsuppressed. *)
+let analyze_raw (inputs : Flow_common.input list) : Lint_engine.finding list =
+  Flow_pool.analyze inputs @ Flow_units.analyze inputs
+  @ Flow_trace.analyze inputs @ Flow_taint.analyze inputs
+
+(* Full pipeline: analyze, apply pragma suppression per file, then
+   report stale allow-pragmas for the typed rules. *)
+let analyze (inputs : Flow_common.input list) : Lint_engine.finding list =
+  let raw = analyze_raw inputs in
+  inputs
+  |> List.concat_map (fun (i : Flow_common.input) ->
+         let mine =
+           List.filter
+             (fun (f : Lint_engine.finding) ->
+               f.Lint_engine.file = i.Flow_common.src_file)
+             raw
+         in
+         let kept = Lint_engine.suppress ~pragmas:i.Flow_common.pragmas mine in
+         kept
+         @ Lint_engine.stale_pragma_findings ~file:i.Flow_common.src_file
+             ~rules:Lint_engine.typed_rule_ids i.Flow_common.pragmas)
+  |> List.sort_uniq Lint_engine.compare_findings
+
+(* Entry point used by [pase_lint --typed]. *)
+let lint_cmts ~cmt_root ~only : Lint_engine.finding list =
+  analyze (inputs_under ~cmt_root ~only)

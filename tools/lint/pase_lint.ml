@@ -1,15 +1,55 @@
 (* pase_lint — determinism-invariant static analyzer for the simulator.
 
-   Usage: pase_lint [PATH ...]        (default: lib bin bench)
+   Usage: pase_lint [OPTIONS] [PATH ...]     (default paths: lib bin bench)
 
-   Exits 1 if any unannotated violation of the rule set is found. See
-   DESIGN.md "Determinism invariants" for the rules and the pragma syntax. *)
+     --parse-only        run only the parsetree tier (syntactic rules)
+     --typed-only        run only the typedtree dataflow tier
+     --cmt-root DIR      where to find .cmt files for the typed tier
+                         (default: _build/default; use `.` when invoked
+                         from inside the build context). The cmts come
+                         from `dune build @check`.
+     --json              print findings as a JSON array on stdout
+
+   Exits 1 if any unannotated violation is found, 2 on usage errors or a
+   missing cmt root. See DESIGN.md §13 for the two-tier architecture,
+   the rule set, and the pragma syntax. *)
+
+let usage () =
+  Format.eprintf
+    "usage: pase_lint [--parse-only|--typed-only] [--cmt-root DIR] [--json] \
+     [PATH ...]@.";
+  exit 2
 
 let () =
+  let json = ref false in
+  let run_parse = ref true in
+  let run_typed = ref true in
+  let cmt_root = ref "_build/default" in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse_args rest
+    | "--parse-only" :: rest ->
+        run_typed := false;
+        parse_args rest
+    | "--typed-only" :: rest ->
+        run_parse := false;
+        parse_args rest
+    | "--cmt-root" :: dir :: rest ->
+        cmt_root := dir;
+        parse_args rest
+    | "--cmt-root" :: [] -> usage ()
+    | s :: _ when String.length s > 0 && s.[0] = '-' -> usage ()
+    | p :: rest ->
+        paths := p :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if (not !run_parse) && not !run_typed then usage ();
   let paths =
-    match List.tl (Array.to_list Sys.argv) with
-    | [] -> [ "lib"; "bin"; "bench" ]
-    | ps -> ps
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
   in
   let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
   if missing <> [] then begin
@@ -17,11 +57,49 @@ let () =
       (String.concat ", " missing);
     exit 2
   end;
-  let findings = Lint_engine.lint_paths paths in
-  List.iter (fun f -> Format.printf "%a@." Lint_engine.pp_finding f) findings;
-  match findings with
+  let parse_findings =
+    if !run_parse then Lint_engine.lint_paths paths else []
+  in
+  let typed_findings =
+    if not !run_typed then []
+    else if not (Sys.file_exists !cmt_root) then begin
+      Format.eprintf
+        "pase_lint: cmt root `%s` not found — run `dune build @check` first \
+         (or pass --cmt-root)@."
+        !cmt_root;
+      exit 2
+    end
+    else Lint_flow.lint_cmts ~cmt_root:!cmt_root ~only:paths
+  in
+  let tagged =
+    List.map (fun f -> ("parse", f)) parse_findings
+    @ List.map (fun f -> ("typed", f)) typed_findings
+  in
+  if !json then begin
+    print_string "[";
+    List.iteri
+      (fun i (tier, f) ->
+        if i > 0 then print_string ",";
+        print_string "\n  ";
+        print_string (Lint_engine.finding_to_json ~tier f))
+      tagged;
+    if tagged <> [] then print_string "\n";
+    print_string "]\n"
+  end
+  else
+    List.iter
+      (fun (_, f) -> Format.printf "%a@." Lint_engine.pp_finding f)
+      tagged;
+  let tiers =
+    (if !run_parse then [ "parse" ] else [])
+    @ if !run_typed then [ "typed" ] else []
+  in
+  match tagged with
   | [] ->
-      Format.printf "pase_lint: clean (%s)@." (String.concat " " paths);
+      Format.eprintf "pase_lint: clean (%s tier%s; %s)@."
+        (String.concat "+" tiers)
+        (if List.length tiers > 1 then "s" else "")
+        (String.concat " " paths);
       exit 0
   | fs ->
       Format.eprintf "pase_lint: %d violation(s)@." (List.length fs);
