@@ -185,6 +185,38 @@ let trace_format_arg =
     & opt (enum [ ("jsonl", `Jsonl); ("text", `Text) ]) `Jsonl
     & info [ "trace-format" ] ~docv:"FMT" ~doc)
 
+let trace_limit_arg =
+  let doc =
+    "With $(b,--trace): keep only the most recent $(docv) events in a \
+     bounded in-memory ring and write them out at the end of the run. The \
+     summary reports how many earlier events the ring dropped."
+  in
+  Arg.(value & opt (some int) None & info [ "trace-limit" ] ~docv:"N" ~doc)
+
+let attrib_arg =
+  let doc =
+    "Enable per-flow delay attribution and spill one JSON object per \
+     completed flow to $(docv) (JSONL): FCT decomposed into serialization, \
+     propagation, queueing, arbitration wait and RTO stall (the components \
+     sum exactly to the FCT). The result also embeds per-band component \
+     aggregates. Disables the result cache for this run."
+  in
+  Arg.(value & opt (some string) None & info [ "attrib" ] ~docv:"FILE" ~doc)
+
+let series_arg =
+  let doc =
+    "Sample per-link utilization, per-band queue depths/drops and \
+     arbitrator state on a fixed sim-time grid and spill one JSON object \
+     per sample to $(docv) (JSONL). Disables the result cache for this \
+     run."
+  in
+  Arg.(value & opt (some string) None & info [ "series" ] ~docv:"FILE" ~doc)
+
+let series_interval_arg =
+  let doc = "Sampling period for $(b,--series), in simulated seconds." in
+  Arg.(
+    value & opt float 1e-3 & info [ "series-interval" ] ~docv:"SECONDS" ~doc)
+
 let trace_filter_arg =
   let doc =
     "Comma-separated trace filters: $(b,flow=N), $(b,kind=NAME) (e.g. drop, \
@@ -315,10 +347,13 @@ let profile_rows (r : Runner.result) =
 
 let run_cmd =
   let action scenario protocol load flows seed no_cache json trace trace_format
-      trace_filter profile faults stream_results exact_stats =
+      trace_filter trace_limit profile faults stream_results exact_stats attrib
+      series series_interval =
     match (find_scenario scenario, find_protocol protocol) with
     | Ok sc, Ok proto ->
         if load <= 0. || load > 1. then `Error (false, "load must be in (0,1]")
+        else if series_interval <= 0. then
+          `Error (false, "series-interval must be positive")
         else begin
           let filter =
             match trace_filter with
@@ -336,59 +371,126 @@ let run_cmd =
                 | None -> None
                 | Some file ->
                     let oc = open_out file in
-                    let sink =
-                      match trace_format with
-                      | `Jsonl -> Trace.jsonl_sink oc
-                      | `Text -> Trace.text_sink oc
+                    let ring =
+                      match trace_limit with
+                      | None ->
+                          let sink =
+                            match trace_format with
+                            | `Jsonl -> Trace.jsonl_sink oc
+                            | `Text -> Trace.text_sink oc
+                          in
+                          Trace.attach sink;
+                          None
+                      | Some cap ->
+                          (* Bounded ring: retain the tail in memory, write
+                             it out once the run is over. *)
+                          let ring, sink = Trace.ring_sink ~capacity:cap in
+                          Trace.attach sink;
+                          Some ring
                     in
-                    Trace.attach sink;
                     Trace.set_kind_filter kinds;
                     Trace.set_flow_filter flows_f;
                     Trace.set_link_filter links;
-                    Some (file, oc)
+                    Some (file, oc, ring)
               in
-              (* Tracing needs the simulation to actually execute, in this
-                 process: skip the cache entirely. *)
-              let no_cache = no_cache || trace_oc <> None in
+              (* Tracing, attribution and fabric sampling all need the
+                 simulation to actually execute, in this process: skip the
+                 cache entirely. *)
+              let no_cache =
+                no_cache || trace_oc <> None || attrib <> None
+                || series <> None
+              in
               let scn =
                 Scenario.with_faults
                   (sc ~num_flows:flows ~seed ~load)
                   fault_events
               in
+              let attrib_flows = ref 0 in
+              let series_seen = ref 0 in
+              let series_dropped = ref 0 in
+              let in_process =
+                stream_results <> None || attrib <> None || series <> None
+              in
               let r =
                 (* Fault.parse checks syntax; node refs only resolve against
                    the topology once the run builds it, so schedule/topology
                    mismatches surface here as Invalid_argument. *)
-                match stream_results with
-                | None -> (
-                    match
-                      Parallel.run_jobs ~jobs:1
-                        ~cache_dir:(cache_dir ~no_cache) ~profile
-                        [ (proto, scn) ]
-                    with
-                    | [ r ] -> Ok r
-                    | _ -> assert false
-                    | exception Invalid_argument e -> Error e)
-                | Some file -> (
-                    (* The spill sink needs the simulation to execute here,
-                       record by record: bypass the pool and the cache. *)
+                if not in_process then (
+                  match
+                    Parallel.run_jobs ~jobs:1 ~cache_dir:(cache_dir ~no_cache)
+                      ~profile
+                      [ (proto, scn) ]
+                  with
+                  | [ r ] -> Ok r
+                  | _ -> assert false
+                  | exception Invalid_argument e -> Error e)
+                else begin
+                  (* Spill sinks need the simulation to execute here, record
+                     by record: bypass the pool and the cache. *)
+                  let opened = ref [] in
+                  let open_spill file =
                     let oc = open_out file in
-                    let stats =
-                      if exact_stats then `Exact else `Streaming
-                    in
-                    match
-                      Fun.protect
-                        ~finally:(fun () -> close_out_noerr oc)
-                        (fun () ->
-                          Runner.run ~profile ~stats
-                            ~on_record:(fun rec_ ->
-                              output_string oc
-                                (Result_codec.record_to_json rec_);
-                              output_char oc '\n')
-                            proto scn)
-                    with
-                    | r -> Ok r
-                    | exception Invalid_argument e -> Error e)
+                    opened := oc :: !opened;
+                    oc
+                  in
+                  let on_record =
+                    Option.map
+                      (fun file ->
+                        let oc = open_spill file in
+                        fun rec_ ->
+                          output_string oc (Result_codec.record_to_json rec_);
+                          output_char oc '\n')
+                      stream_results
+                  in
+                  let on_attrib =
+                    Option.map
+                      (fun file ->
+                        let oc = open_spill file in
+                        fun ~size_pkts rec_ ->
+                          incr attrib_flows;
+                          output_string oc
+                            (Result_codec.attrib_record_to_json ~size_pkts
+                               rec_);
+                          output_char oc '\n')
+                      attrib
+                  in
+                  let series_store =
+                    Option.map
+                      (fun file ->
+                        let oc = open_spill file in
+                        Series.store
+                          ~spill:(fun s ->
+                            output_string oc (Series.sample_json s);
+                            output_char oc '\n')
+                          ())
+                      series
+                  in
+                  let stats =
+                    if stream_results <> None && not exact_stats then
+                      `Streaming
+                    else `Exact
+                  in
+                  match
+                    Fun.protect
+                      ~finally:(fun () -> List.iter close_out_noerr !opened)
+                      (fun () ->
+                        Runner.run ~profile ~stats ?on_record
+                          ~attrib:(attrib <> None) ?on_attrib
+                          ?series:
+                            (Option.map
+                               (fun st -> (st, series_interval))
+                               series_store)
+                          proto scn)
+                  with
+                  | r ->
+                      (match series_store with
+                      | Some st ->
+                          series_seen := Series.seen st;
+                          series_dropped := Series.dropped st
+                      | None -> ());
+                      Ok r
+                  | exception Invalid_argument e -> Error e
+                end
               in
               match r with
               | Error e -> `Error (false, e)
@@ -396,24 +498,57 @@ let run_cmd =
               let trace_summary =
                 match trace_oc with
                 | None -> []
-                | Some (file, oc) ->
+                | Some (file, oc, ring) ->
                     let emitted = Trace.emitted () in
+                    let dropped =
+                      match ring with
+                      | None -> 0
+                      | Some ring ->
+                          let fmt =
+                            match trace_format with
+                            | `Jsonl -> Trace.to_json
+                            | `Text -> Trace.to_text
+                          in
+                          List.iter
+                            (fun (time, ev) ->
+                              output_string oc (fmt ~time ev);
+                              output_char oc '\n')
+                            (Trace.ring_contents ring);
+                          Trace.ring_dropped ring
+                    in
                     Trace.reset ();
                     close_out oc;
                     [
                       ("trace_file", Printf.sprintf "%S" file);
                       ("trace_events", string_of_int emitted);
+                      ("trace_dropped_events", string_of_int dropped);
                     ]
               in
               let extra =
                 trace_summary
+                @ (match stream_results with
+                  | None -> []
+                  | Some file ->
+                      [
+                        ("stream_results_file", Printf.sprintf "%S" file);
+                        ( "stream_results_records",
+                          string_of_int (Fct.count r.Runner.fct) );
+                      ])
+                @ (match attrib with
+                  | None -> []
+                  | Some file ->
+                      [
+                        ("attrib_file", Printf.sprintf "%S" file);
+                        ("attrib_flows", string_of_int !attrib_flows);
+                      ])
                 @
-                match stream_results with
+                match series with
                 | None -> []
                 | Some file ->
                     [
-                      ("stream_results_file", Printf.sprintf "%S" file);
-                      ("stream_results_records", string_of_int (Fct.count r.Runner.fct));
+                      ("series_file", Printf.sprintf "%S" file);
+                      ("series_samples", string_of_int !series_seen);
+                      ("series_dropped", string_of_int !series_dropped);
                     ]
               in
               if json then
@@ -433,8 +568,9 @@ let run_cmd =
     Term.(
       ret (const action $ scenario_arg $ protocol_arg $ load_arg $ flows_arg
           $ seed_arg $ no_cache_arg $ json_arg $ trace_arg $ trace_format_arg
-          $ trace_filter_arg $ profile_arg $ faults_arg $ stream_results_arg
-          $ exact_stats_arg))
+          $ trace_filter_arg $ trace_limit_arg $ profile_arg $ faults_arg
+          $ stream_results_arg $ exact_stats_arg $ attrib_arg $ series_arg
+          $ series_interval_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol on one scenario") term
 
@@ -484,6 +620,56 @@ let compare_cmd =
        ~doc:"Run every protocol on one scenario (in parallel) and compare")
     term
 
+let report_cmd =
+  let result_arg =
+    let doc = "Result JSON file, as written by $(b,pase_sim run --json)." in
+    Arg.(
+      required & opt (some string) None & info [ "result" ] ~docv:"FILE" ~doc)
+  in
+  let report_attrib_arg =
+    let doc =
+      "Per-flow attribution JSONL spill from $(b,pase_sim run --attrib)."
+    in
+    Arg.(value & opt (some string) None & info [ "attrib" ] ~docv:"FILE" ~doc)
+  in
+  let report_series_arg =
+    let doc = "Fabric series JSONL spill from $(b,pase_sim run --series)." in
+    Arg.(value & opt (some string) None & info [ "series" ] ~docv:"FILE" ~doc)
+  in
+  let vs_arg =
+    let doc =
+      "Second result JSON file to diff against: compares mean per-component \
+       delay attribution protocol-vs-protocol (both results must embed \
+       attribution aggregates, i.e. come from $(b,--attrib) runs)."
+    in
+    Arg.(value & opt (some string) None & info [ "vs" ] ~docv:"FILE" ~doc)
+  in
+  let top_arg =
+    let doc = "Number of hot links / hot queues to show." in
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let action result attrib series vs top json =
+    match Report.of_files ~result ?attrib ?series ?vs ~top () with
+    | report ->
+        if json then print_endline (Report.to_json report)
+        else Report.print report;
+        `Ok ()
+    | exception Failure e -> `Error (false, e)
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ result_arg $ report_attrib_arg $ report_series_arg
+       $ vs_arg $ top_arg $ json_arg))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Explain a run from its result/attrib/series files: p99 flow delay \
+          breakdown, component totals checked against the AFCT, top-k hot \
+          links and queues, protocol-vs-protocol attribution diff")
+    term
+
 let list_cmd =
   let action () =
     print_endline "scenarios:";
@@ -501,4 +687,4 @@ let list_cmd =
 let () =
   let doc = "PASE data-center transport simulator (SIGCOMM'14 reproduction)" in
   let info = Cmd.info "pase_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; compare_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; compare_cmd; report_cmd; list_cmd ]))

@@ -1,0 +1,88 @@
+(** Per-flow delay attribution.
+
+    A process-global service (like {!Trace}) that decomposes each completed
+    flow's FCT into five components with an exact-sum guarantee:
+
+    {v
+    serialization +. propagation +. arb_wait +. rto_stall +. queueing = fct
+    v}
+
+    evaluated left to right, with float equality. The transports drive a
+    per-flow mode machine (in flight / gated on arbitration or a rate grant /
+    waiting out a retransmission timer) and the data path reports measured
+    per-hop queueing, serialization and propagation delays; at completion the
+    in-flight wall time is split proportionally to the measured sums and the
+    queueing share absorbs the float residual. See DESIGN.md §14. *)
+
+type record = {
+  flow : int;
+  fct : float;
+  serialization : float;  (** link transmit time across all hops *)
+  propagation : float;  (** wire delay across all hops *)
+  queueing : float;  (** qdisc residence (absorbs the float residual) *)
+  arb_wait : float;  (** blocked on arbitration / rate grants *)
+  rto_stall : float;  (** blocked on retransmission timers *)
+  timeouts : int;  (** RTO firings over the flow's lifetime *)
+}
+
+(** {1 Lifecycle} *)
+
+val on : unit -> bool
+(** Cheap guard; all instrumentation must be dominated by [on () = true]. *)
+
+val enable : unit -> unit
+(** Turn attribution on and clear all per-flow state. *)
+
+val disable : unit -> unit
+(** Turn attribution off and clear all per-flow state. *)
+
+val reset : unit -> unit
+(** Clear per-flow state without changing the on/off switch. *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the sim-time source; [Net.create] points this at its engine. *)
+
+val now : unit -> float
+
+(** {1 Transport hooks} (all no-ops for unknown flow ids) *)
+
+val flow_start : flow:int -> now:float -> gated:bool -> unit
+(** Register a flow at its start time. [gated] tells whether the transport
+    is blocked on arbitration/pacing before the first send. *)
+
+val on_send : flow:int -> now:float -> unit
+(** A data segment entered the network: switch to in-flight mode. *)
+
+val on_activity : flow:int -> now:float -> unit
+(** Any packet of the flow arrived back at the sender (ack/probe-ack);
+    advances the last-activity watermark used by {!before_timeout}. *)
+
+val before_timeout : flow:int -> now:float -> unit
+(** Called when the retransmission timer fires, before recovery: closes the
+    current interval, retroactively reclassifying the silent tail of an
+    in-flight period as RTO stall. *)
+
+val sync : flow:int -> inflight:int -> gated:bool -> now:float -> unit
+(** Reconcile the mode with transport state after an ack or timeout has
+    been fully processed. *)
+
+val complete : flow:int -> now:float -> fct:float -> unit
+(** Finalize the flow's record; fetch it with {!take}. *)
+
+val discard : flow:int -> unit
+(** Drop all state for a cancelled flow. *)
+
+val take : flow:int -> record option
+(** Remove and return the finalized record of a completed flow. *)
+
+(** {1 Data-path hooks} (all no-ops for unknown flow ids) *)
+
+val hop_queue : flow:int -> float -> unit
+val hop_ser : flow:int -> float -> unit
+val hop_prop : flow:int -> float -> unit
+
+(** {1 Invariant} *)
+
+val check_sum : record -> bool
+(** [check_sum r] is the exact-sum invariant above; always true for records
+    produced by {!complete}. *)

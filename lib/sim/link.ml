@@ -117,7 +117,10 @@ let create engine ~qdisc ~rate_bps ~delay_s ?counters ~deliver () =
         t.doomed_fly <- t.doomed_fly - 1;
         blackhole t pkt
       end
-      else t.deliver pkt);
+      else begin
+        if Delay.on () then Delay.hop_prop ~flow:pkt.Packet.flow t.delay_s;
+        t.deliver pkt
+      end);
   t.tx_done <-
     (fun () ->
       let pkt = t.txing in
@@ -131,6 +134,9 @@ let create engine ~qdisc ~rate_bps ~delay_s ?counters ~deliver () =
       end
       else begin
         t.bytes_txed <- t.bytes_txed + pkt.Packet.size;
+        if Delay.on () then
+          Delay.hop_ser ~flow:pkt.Packet.flow
+            (float_of_int (8 * pkt.Packet.size) /. t.rate_bps);
         (if Trace.on () then
            let l = t.qdisc.Queue_disc.loc in
            Trace.emit

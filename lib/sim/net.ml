@@ -16,6 +16,7 @@ type t = {
 
 let create engine counters =
   Trace.set_clock (fun () -> Engine.now engine);
+  Delay.set_clock (fun () -> Engine.now engine);
   {
     engine;
     counters;

@@ -16,6 +16,7 @@ type t = {
   mutable ecn_ce : bool;
   mutable ecn_echo : bool;
   mutable sent_at : float;
+  mutable enq_at : float;  (* scratch: qdisc arrival time (Delay attribution) *)
 }
 
 let header_bytes = 40
@@ -56,6 +57,7 @@ let dummy () =
     ecn_ce = false;
     ecn_echo = false;
     sent_at = 0.;
+    enq_at = 0.;
   }
 
 let free pkt =
@@ -92,6 +94,7 @@ let make ~flow ~src ~dst ~kind ~size ~seq ?(ack = -1) ?(sack = -1) ?(prio = 0.)
     p.ecn_ce <- false;
     p.ecn_echo <- ecn_echo;
     p.sent_at <- sent_at;
+    p.enq_at <- 0.;
     p
   end
   else
@@ -111,6 +114,7 @@ let make ~flow ~src ~dst ~kind ~size ~seq ?(ack = -1) ?(sack = -1) ?(prio = 0.)
       ecn_ce = false;
       ecn_echo;
       sent_at;
+      enq_at = 0.;
     }
 
 let kind_str = function

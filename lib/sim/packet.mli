@@ -30,6 +30,9 @@ type t = {
   mutable ecn_ce : bool;  (** congestion-experienced mark, set by queues *)
   mutable ecn_echo : bool;  (** acks: echo of the data packet's CE mark *)
   mutable sent_at : float;  (** time the packet entered the network at its source *)
+  mutable enq_at : float;
+      (** scratch: time the packet entered its current qdisc, stamped by
+          {!Queue_disc.count_enqueue} when {!Delay.on} (meaningless otherwise) *)
 }
 
 (** Header-only sizes in bytes. *)

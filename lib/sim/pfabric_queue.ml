@@ -34,6 +34,7 @@ let tier_of prio =
 let create counters ~limit_pkts =
   let b = buf_create limit_pkts in
   let bytes = ref 0 in
+  let drops = ref 0 in
   let loc = Trace.unattached_loc () in
   (* Index of the buffered packet with the worst (largest) priority value;
      ties broken toward later seq so we evict the youngest of the worst
@@ -60,12 +61,16 @@ let create counters ~limit_pkts =
         let victim = buf_get b w in
         buf_remove b w;
         bytes := !bytes - victim.Packet.size;
+        incr drops;
         Queue_disc.count_drop loc counters ~qpkts:b.len victim;
         buf_add b pkt;
         bytes := !bytes + pkt.Packet.size;
         Queue_disc.count_enqueue loc counters ~qpkts:b.len pkt
       end
-      else Queue_disc.count_drop loc counters ~qpkts:b.len pkt
+      else begin
+        incr drops;
+        Queue_disc.count_drop loc counters ~qpkts:b.len pkt
+      end
     end
     else begin
       buf_add b pkt;
@@ -116,5 +121,6 @@ let create counters ~limit_pkts =
     pkts = (fun () -> b.len);
     bytes = (fun () -> !bytes);
     bands = band_occ;
+    drops = (fun () -> !drops);
     loc;
   }

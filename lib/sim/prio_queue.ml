@@ -4,6 +4,7 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
   let band_bytes = Array.make bands 0 in
   let total = ref 0 in
   let bytes = ref 0 in
+  let drops = ref 0 in
   let loc = Trace.unattached_loc () in
   let band_of (pkt : Packet.t) =
     let b = pkt.Packet.tos in
@@ -30,6 +31,7 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
             total := !total - 1;
             bytes := !bytes - p.Packet.size;
             band_bytes.(i) <- band_bytes.(i) - p.Packet.size;
+            incr drops;
             Queue_disc.count_drop loc counters ~qpkts:!total p
         | None -> assert false);
         true
@@ -44,7 +46,10 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
       if !total < limit_pkts then true
       else push_out_below band
     in
-    if not admitted then Queue_disc.count_drop loc counters ~qpkts:!total pkt
+    if not admitted then begin
+      incr drops;
+      Queue_disc.count_drop loc counters ~qpkts:!total pkt
+    end
     else begin
       if pkt.Packet.ecn_capable && Queue.length qs.(band) >= mark_threshold
       then Queue_disc.count_mark loc counters ~qpkts:!total pkt;
@@ -81,6 +86,7 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
       pkts = (fun () -> !total);
       bytes = (fun () -> !bytes);
       bands = band_occ;
+      drops = (fun () -> !drops);
       loc;
     }
   in

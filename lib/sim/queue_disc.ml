@@ -4,6 +4,7 @@ type t = {
   pkts : unit -> int;
   bytes : unit -> int;
   bands : unit -> (int * int) array;
+  drops : unit -> int;
   loc : Trace.loc;
 }
 
@@ -24,12 +25,15 @@ let count_drop (loc : Trace.loc) (c : Counters.t) ~qpkts (pkt : Packet.t) =
 let count_enqueue (loc : Trace.loc) (c : Counters.t) ~qpkts (pkt : Packet.t) =
   c.enqueued_pkts <- c.enqueued_pkts + 1;
   c.enqueued_bytes <- c.enqueued_bytes + pkt.size;
+  if Delay.on () then pkt.enq_at <- Delay.now ();
   if Trace.on () then
     Trace.emit (Trace.Enqueue { pkt; link = link_of loc; qpkts })
 
 let count_dequeue (loc : Trace.loc) (c : Counters.t) ~qpkts (pkt : Packet.t) =
   c.dequeued_pkts <- c.dequeued_pkts + 1;
   c.dequeued_bytes <- c.dequeued_bytes + pkt.size;
+  if Delay.on () then
+    Delay.hop_queue ~flow:pkt.flow (Delay.now () -. pkt.enq_at);
   if Trace.on () then
     Trace.emit (Trace.Dequeue { pkt; link = link_of loc; qpkts })
 
@@ -43,10 +47,13 @@ let no_bands () = [||]
 let fifo counters ~limit_pkts ~mark_threshold =
   let q : Packet.t Queue.t = Queue.create () in
   let bytes = ref 0 in
+  let drops = ref 0 in
   let loc = Trace.unattached_loc () in
   let enqueue pkt =
-    if Queue.length q >= limit_pkts then
+    if Queue.length q >= limit_pkts then begin
+      incr drops;
       count_drop loc counters ~qpkts:(Queue.length q) pkt
+    end
     else begin
       (match mark_threshold with
       | Some k when pkt.Packet.ecn_capable && Queue.length q >= k ->
@@ -72,6 +79,7 @@ let fifo counters ~limit_pkts ~mark_threshold =
     pkts = (fun () -> Queue.length q);
     bytes = (fun () -> !bytes);
     bands = no_bands;
+    drops = (fun () -> !drops);
     loc;
   }
 

@@ -13,6 +13,9 @@ type t = {
   bands : unit -> (int * int) array;
       (** per-band (pkts, bytes) occupancy for banded disciplines
           (priority queues); [[||]] for unbanded ones *)
+  drops : unit -> int;
+      (** cumulative packets dropped by this discipline since creation
+          (admission failures and priority evictions alike) *)
   loc : Trace.loc;
       (** the directed link this discipline drains; [Net.connect] fills it
           in so trace events carry the link identity *)

@@ -355,6 +355,7 @@ let ring_sink ~capacity =
 
 let ring_length r = min r.stored r.capacity
 let ring_seen r = r.stored
+let ring_dropped r = max 0 (r.stored - r.capacity)
 
 (* Oldest first. *)
 let ring_contents r =

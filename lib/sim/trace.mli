@@ -124,6 +124,9 @@ val ring_length : ring -> int
 val ring_seen : ring -> int
 (** Total events ever delivered to the sink, including evicted ones. *)
 
+val ring_dropped : ring -> int
+(** Events evicted to make room: [max 0 (seen - capacity)]. *)
+
 (** {1 The global bus} *)
 
 val on : unit -> bool

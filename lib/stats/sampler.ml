@@ -1,0 +1,110 @@
+(* Deterministic fabric sampler: an engine-timer loop that snapshots every
+   tracked link at a fixed sim-time interval into a Series store. Sampling
+   is pure observation — it never mutates link or queue state — so enabling
+   it cannot perturb simulation results; it only adds "sampler" events to
+   the schedule. Metric names are precomputed per link at [start] so the
+   per-tick cost is field reads and store appends, with no allocation of
+   metric strings on the hot path.
+
+   Per directed link [label] (caller-chosen, e.g. "3-7"):
+     link.<label>.util        bytes transmitted this interval / capacity
+     q.<label>.pkts           instantaneous qdisc occupancy, packets
+     q.<label>.bytes          instantaneous qdisc occupancy, bytes
+     q.<label>.drops          drops recorded this interval
+     q.<label>.band<i>.pkts   per-band occupancy (banded disciplines only)
+
+   Plus whatever the [extra] callback reports (full metric names), sampled
+   at the same instants — the runner uses it for arbitration-plane state. *)
+
+type tracked = {
+  link : Link.t;
+  util_m : string;
+  pkts_m : string;
+  bytes_m : string;
+  drops_m : string;
+  band_ms : string array;
+  mutable last_bytes : int;
+  mutable last_drops : int;
+}
+
+type t = {
+  engine : Engine.t;
+  store : Series.store;
+  interval : float;
+  links : tracked list;
+  extra : unit -> (string * float) list;
+  mutable running : bool;
+  mutable ticks : int;
+}
+
+let track (label, link) =
+  let disc = Link.qdisc link in
+  {
+    link;
+    util_m = Printf.sprintf "link.%s.util" label;
+    pkts_m = Printf.sprintf "q.%s.pkts" label;
+    bytes_m = Printf.sprintf "q.%s.bytes" label;
+    drops_m = Printf.sprintf "q.%s.drops" label;
+    band_ms =
+      Array.init
+        (Array.length (disc.Queue_disc.bands ()))
+        (Printf.sprintf "q.%s.band%d.pkts" label);
+    last_bytes = Link.bytes_txed link;
+    last_drops = disc.Queue_disc.drops ();
+  }
+
+let sample_link t tr now =
+  let bytes = Link.bytes_txed tr.link in
+  let delta = bytes - tr.last_bytes in
+  tr.last_bytes <- bytes;
+  let cap_bytes = Link.rate_bps tr.link *. t.interval /. 8. in
+  let util =
+    if cap_bytes <= 0. then 0.
+    else Float.min 1. (float_of_int delta /. cap_bytes)
+  in
+  Series.add t.store ~t:now ~metric:tr.util_m ~v:util;
+  let disc = Link.qdisc tr.link in
+  Series.add t.store ~t:now ~metric:tr.pkts_m
+    ~v:(float_of_int (disc.Queue_disc.pkts ()));
+  Series.add t.store ~t:now ~metric:tr.bytes_m
+    ~v:(float_of_int (disc.Queue_disc.bytes ()));
+  let drops = disc.Queue_disc.drops () in
+  Series.add t.store ~t:now ~metric:tr.drops_m
+    ~v:(float_of_int (drops - tr.last_drops));
+  tr.last_drops <- drops;
+  let bands = disc.Queue_disc.bands () in
+  Array.iteri
+    (fun i (pk, _bytes) ->
+      Series.add t.store ~t:now ~metric:tr.band_ms.(i) ~v:(float_of_int pk))
+    bands
+
+let rec tick t () =
+  if t.running then begin
+    let now = Engine.now t.engine in
+    t.ticks <- t.ticks + 1;
+    List.iter (fun tr -> sample_link t tr now) t.links;
+    List.iter
+      (fun (metric, v) -> Series.add t.store ~t:now ~metric ~v)
+      (t.extra ());
+    Engine.schedule ~label:"sampler" t.engine ~delay:t.interval (tick t)
+  end
+
+let start engine ~store ~interval ~links ?(extra = fun () -> []) () =
+  if interval <= 0. then
+    invalid_arg "Sampler.start: interval must be positive";
+  let t =
+    {
+      engine;
+      store;
+      interval;
+      links = List.map track links;
+      extra;
+      running = true;
+      ticks = 0;
+    }
+  in
+  Engine.schedule ~label:"sampler" engine ~delay:interval (tick t);
+  t
+
+let stop t = t.running <- false
+let ticks t = t.ticks

@@ -1,0 +1,31 @@
+(** Deterministic fabric sampler.
+
+    An engine-timer loop snapshotting tracked links into a {!Series.store}
+    at a fixed sim-time interval: per-link utilization over the interval,
+    instantaneous qdisc occupancy (packets/bytes, per-band packets for
+    banded disciplines), drops per interval, plus caller-supplied extra
+    metrics (arbitration-plane state). Pure observation: enabling the
+    sampler never changes simulation results, and the sample stream is a
+    deterministic function of the run. See DESIGN.md §14. *)
+
+type t
+
+val start :
+  Engine.t ->
+  store:Series.store ->
+  interval:float ->
+  links:(string * Link.t) list ->
+  ?extra:(unit -> (string * float) list) ->
+  unit ->
+  t
+(** First sample fires at [interval]; [links] order fixes the metric
+    emission order within a tick. [extra] returns fully-named metrics
+    appended after the link metrics each tick. Raises [Invalid_argument]
+    on a non-positive interval. *)
+
+val stop : t -> unit
+(** Stop sampling; the already-scheduled next tick fires but records
+    nothing. *)
+
+val ticks : t -> int
+(** Sampling instants elapsed so far. *)

@@ -52,3 +52,49 @@ let print_table ~title ~header rows =
   Printf.printf "\n== %s ==\n" title;
   render_table header rows;
   print_newline ()
+
+(* Bounded time-series store: a flat ring of (time, metric, value) samples
+   fed by the fabric sampler. The ring keeps the most recent [capacity]
+   samples; everything is also forwarded to the optional [spill] callback as
+   it arrives, so a JSONL spill file sees every sample even when the
+   in-memory window wraps. *)
+
+type sample = { t : float; metric : string; v : float }
+
+type store = {
+  cap : int;
+  ring : sample array;
+  mutable next : int;
+  mutable seen : int;
+  spill : (sample -> unit) option;
+}
+
+let nil_sample = { t = 0.; metric = ""; v = 0. }
+
+let store ?(capacity = 65536) ?spill () =
+  if capacity <= 0 then invalid_arg "Series.store: capacity must be positive";
+  { cap = capacity; ring = Array.make capacity nil_sample; next = 0; seen = 0; spill }
+
+let add st ~t ~metric ~v =
+  let s = { t; metric; v } in
+  (match st.spill with Some f -> f s | None -> ());
+  st.ring.(st.next) <- s;
+  st.next <- (st.next + 1) mod st.cap;
+  st.seen <- st.seen + 1
+
+let seen st = st.seen
+let capacity st = st.cap
+let dropped st = max 0 (st.seen - st.cap)
+
+let samples st =
+  let n = min st.seen st.cap in
+  let start = (st.next - n + st.cap) mod st.cap in
+  List.init n (fun i -> st.ring.((start + i) mod st.cap))
+
+let sample_json { t; metric; v } =
+  let num x =
+    if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then
+      "null"
+    else Printf.sprintf "%.17g" x
+  in
+  Printf.sprintf {|{"t":%s,"metric":"%s","v":%s}|} (num t) metric (num v)

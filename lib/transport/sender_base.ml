@@ -96,6 +96,16 @@ let cancel_timer t =
   | Some tm -> Engine.timer_cancel t.engine tm
   | None -> ()
 
+(* Attribution probe: is the transport blocked by its protocol hooks — an
+   arbitration assignment still pending, or a pacing grant spacing sends
+   out — rather than by loss recovery? Only consulted when [Delay.on]. *)
+let delay_gated t =
+  (not (t.hooks.allow_send t))
+  ||
+  match t.hooks.pacing_rate t with
+  | Some _ -> true
+  | None -> false
+
 (* Forward declarations resolved through mutual recursion. The RTO rides a
    single reschedulable engine timer for the life of the flow: every ack
    resets it in place instead of allocating a fresh event record. *)
@@ -119,6 +129,8 @@ and reset_timer t =
 and handle_timeout t =
   if t.completed then ()
   else begin
+    if Delay.on () then
+      Delay.before_timeout ~flow:t.flow.Flow.id ~now:(Engine.now t.engine);
     t.consecutive_timeouts <- t.consecutive_timeouts + 1;
     if Trace.on () then
       Trace.emit
@@ -127,7 +139,10 @@ and handle_timeout t =
     | `Handled -> ()
     | `Default -> default_timeout_action t);
     t.backoff <- min 8 (t.backoff + 1);
-    arm_timer t
+    arm_timer t;
+    if Delay.on () && not t.completed then
+      Delay.sync ~flow:t.flow.Flow.id ~inflight:t.inflight
+        ~gated:(delay_gated t) ~now:(Engine.now t.engine)
   end
 
 and default_timeout_action t =
@@ -161,6 +176,8 @@ and send_segment t seq ~retx =
   if not retx then t.next_new <- max t.next_new (seq + 1);
   Seg_store.set t.status seq Seg_store.Inflight;
   t.inflight <- t.inflight + 1;
+  if Delay.on () then
+    Delay.on_send ~flow:t.flow.Flow.id ~now:(Engine.now t.engine);
   Hashtbl.replace t.inflight_times seq (Engine.now t.engine, retx);
   let pkt =
     Packet.make ~flow:t.flow.Flow.id ~src:t.flow.Flow.src ~dst:t.flow.Flow.dst
@@ -237,6 +254,8 @@ let complete t =
     cancel_timer t;
     Net.unregister_flow t.net ~host:t.flow.Flow.src ~flow:t.flow.Flow.id;
     let fct = Engine.now t.engine -. t.flow.Flow.start_time in
+    if Delay.on () then
+      Delay.complete ~flow:t.flow.Flow.id ~now:(Engine.now t.engine) ~fct;
     if Trace.on () then
       Trace.emit (Trace.Flow_finish { flow = t.flow.Flow.id; fct });
     t.on_complete t ~fct
@@ -245,6 +264,7 @@ let complete t =
 let cancel t =
   t.completed <- true;
   cancel_timer t;
+  if Delay.on () then Delay.discard ~flow:t.flow.Flow.id;
   Net.unregister_flow t.net ~host:t.flow.Flow.src ~flow:t.flow.Flow.id
 
 let update_rtt t sample =
@@ -286,6 +306,8 @@ let handle_ack_like t (pkt : Packet.t) =
   if t.completed then ()
   else begin
     t.probe_outstanding <- false;
+    if Delay.on () then
+      Delay.on_activity ~flow:t.flow.Flow.id ~now:(Engine.now t.engine);
     let newly = ref 0 in
     if pkt.Packet.sack >= 0 then mark_acked t pkt.Packet.sack newly;
     if pkt.Packet.ack > t.cum_ack then begin
@@ -330,7 +352,13 @@ let handle_ack_like t (pkt : Packet.t) =
       t.in_recovery <- false
     end;
     t.hooks.on_ack t ~ecn:pkt.Packet.ecn_echo ~newly_acked:!newly;
-    if t.cum_ack >= t.flow.Flow.size_pkts then complete t else try_send t
+    if t.cum_ack >= t.flow.Flow.size_pkts then complete t
+    else begin
+      try_send t;
+      if Delay.on () && not t.completed then
+        Delay.sync ~flow:t.flow.Flow.id ~inflight:t.inflight
+          ~gated:(delay_gated t) ~now:(Engine.now t.engine)
+    end
   end
 
 let default_hooks =
@@ -345,6 +373,14 @@ let default_hooks =
   }
 
 let create net ~flow ~conf ?(hooks = default_hooks) ~on_complete () =
+  (* Register with the attribution machine here, not in [start]: hosts may
+     push data through the sender before calling [start] (PASE applies the
+     initial arbitration assignment first), and those sends must be seen.
+     The hooks cannot be probed yet (host back-references are only wired
+     after [create] returns), so the initial mode is provisional; [start]
+     re-syncs it. *)
+  if Delay.on () then
+    Delay.flow_start ~flow:flow.Flow.id ~now:flow.Flow.start_time ~gated:false;
   {
     net;
     engine = Net.engine net;
@@ -389,4 +425,7 @@ let start t =
       match pkt.Packet.kind with
       | Packet.Ack | Packet.Probe_ack -> handle_ack_like t pkt
       | Packet.Data | Packet.Probe | Packet.Ctrl -> ());
+  if Delay.on () then
+    Delay.sync ~flow:t.flow.Flow.id ~inflight:t.inflight
+      ~gated:(delay_gated t) ~now:(Engine.now t.engine);
   try_send t

@@ -87,7 +87,8 @@ let scenario_key (s : Scenario.t) =
       "faults=" ^ Fault.spec_key s.Scenario.faults;
     ]
 
-let job_key ?horizon ?(profile = false) ?(stats = `Exact) proto scenario =
+let job_key ?horizon ?(profile = false) ?(stats = `Exact) ?(attrib = false)
+    proto scenario =
   let descr =
     String.concat "\n"
       [
@@ -103,6 +104,9 @@ let job_key ?horizon ?(profile = false) ?(stats = `Exact) proto scenario =
         (match stats with
         | `Exact -> "stats=exact"
         | `Streaming -> "stats=streaming");
+        (* Attributed results embed the Attrib aggregate, so they cache
+           separately from plain runs of the same configuration. *)
+        Printf.sprintf "attrib=%b" attrib;
       ]
   in
   Digest.to_hex (Digest.string descr)
@@ -169,8 +173,8 @@ type worker = { pid : int; idx : int; buf : Buffer.t; started : float }
    worker simulates its configuration and streams the encoded result back
    over its pipe; the parent multiplexes reads with [select] so a worker
    never blocks on a full pipe buffer. *)
-let run_pool ~jobs ~horizon ~profile ~stats ~(arr : job array) pending ~on_done
-    =
+let run_pool ~jobs ~horizon ~profile ~stats ~attrib ~(arr : job array) pending
+    ~on_done =
   let queue = ref pending in
   let active : (Unix.file_descr, worker) Hashtbl.t = Hashtbl.create jobs in
   let spawn idx =
@@ -184,7 +188,7 @@ let run_pool ~jobs ~horizon ~profile ~stats ~(arr : job array) pending ~on_done
         let status =
           match
             let proto, scenario = arr.(idx) in
-            let r = Runner.run ~profile ?horizon ~stats proto scenario in
+            let r = Runner.run ~profile ?horizon ~stats ~attrib proto scenario in
             write_all wr (Result_codec.encode r)
           with
           | () -> 0
@@ -270,7 +274,7 @@ let run_pool ~jobs ~horizon ~profile ~stats ~(arr : job array) pending ~on_done
 (* ---- driver ------------------------------------------------------------- *)
 
 let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false) ?(stats = `Exact)
-    ?(on_result = fun _ ~cached:_ ~wall:_ _ -> ()) pairs =
+    ?(attrib = false) ?(on_result = fun _ ~cached:_ ~wall:_ _ -> ()) pairs =
   let jobs =
     match jobs with Some j -> max 1 j | None -> max 1 (default_jobs ())
   in
@@ -280,7 +284,7 @@ let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false) ?(stats = `Exact)
   let arr = Array.of_list pairs in
   let n = Array.length arr in
   let keys =
-    Array.map (fun (p, s) -> job_key ?horizon ~profile ~stats p s) arr
+    Array.map (fun (p, s) -> job_key ?horizon ~profile ~stats ~attrib p s) arr
   in
   let results : Runner.result option array = Array.make n None in
   let settle i ~cached ~wall r =
@@ -320,7 +324,7 @@ let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false) ?(stats = `Exact)
       let proto, scenario = arr.(i) in
       (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
       let t0 = Unix.gettimeofday () in
-      let r = Runner.run ~profile ?horizon ~stats proto scenario in
+      let r = Runner.run ~profile ?horizon ~stats ~attrib proto scenario in
       (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
       publish i r (Unix.gettimeofday () -. t0)
   | pending_list ->
@@ -330,12 +334,12 @@ let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false) ?(stats = `Exact)
             let proto, scenario = arr.(i) in
             (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
             let t0 = Unix.gettimeofday () in
-            let r = Runner.run ~profile ?horizon ~stats proto scenario in
+            let r = Runner.run ~profile ?horizon ~stats ~attrib proto scenario in
             (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
             publish i r (Unix.gettimeofday () -. t0))
           pending_list
       else
-        run_pool ~jobs ~horizon ~profile ~stats ~arr pending_list
+        run_pool ~jobs ~horizon ~profile ~stats ~attrib ~arr pending_list
           ~on_done:publish);
   (* 4. Fan shared results back out to duplicate configurations. *)
   Array.to_list

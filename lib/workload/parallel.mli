@@ -29,6 +29,7 @@ val job_key :
   ?horizon:float ->
   ?profile:bool ->
   ?stats:[ `Exact | `Streaming ] ->
+  ?attrib:bool ->
   Runner.protocol ->
   Scenario.t ->
   string
@@ -45,6 +46,10 @@ val job_key :
       distinct key (their [sched_profile] differs).
     - [stats]: forwarded to {!Runner.run}; exact and streaming results embed
       different [Fct] payloads and cache under distinct keys.
+    - [attrib]: forwarded to {!Runner.run}; attributed results embed the
+      {!Attrib} aggregate and cache under distinct keys. (Per-record
+      [on_attrib] spilling and the fabric sampler are in-process-only
+      concerns — use {!Runner.run} directly for those.)
     - [on_result i ~cached ~wall r] fires once per job as results become
       available (completion order under parallelism); [cached] tells whether
       the result was served from the cache, [wall] is the worker wall-clock
@@ -60,6 +65,7 @@ val run_jobs :
   ?horizon:float ->
   ?profile:bool ->
   ?stats:[ `Exact | `Streaming ] ->
+  ?attrib:bool ->
   ?on_result:(int -> cached:bool -> wall:float -> Runner.result -> unit) ->
   job list ->
   Runner.result list

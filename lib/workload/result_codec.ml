@@ -1,4 +1,4 @@
-let version = 5
+let version = 6
 let magic = "PASE-RES"
 let header_len = String.length magic + 4
 
@@ -59,6 +59,17 @@ let record_to_json (r : Fct.record) =
     (json_opt_float r.Fct.ideal)
     (json_opt_int r.Fct.task)
 
+let attrib_record_to_json ~size_pkts (r : Delay.record) =
+  Printf.sprintf
+    {|{"flow":%d,"size_pkts":%d,"fct":%s,"serialization":%s,"propagation":%s,"queueing":%s,"arb_wait":%s,"rto_stall":%s,"timeouts":%d}|}
+    r.Delay.flow size_pkts (json_float r.Delay.fct)
+    (json_float r.Delay.serialization)
+    (json_float r.Delay.propagation)
+    (json_float r.Delay.queueing)
+    (json_float r.Delay.arb_wait)
+    (json_float r.Delay.rto_stall)
+    r.Delay.timeouts
+
 let to_json ?(records = false) ?(extra = []) (r : Runner.result) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
@@ -100,6 +111,12 @@ let to_json ?(records = false) ?(extra = []) (r : Runner.result) =
            (json_float sk.Fct.sk_delta)
            sk.Fct.sk_centroids sk.Fct.sk_reservoir_len
            sk.Fct.sk_reservoir_seen));
+  (* Delay attribution aggregate (codec v6); absent unless run ~attrib. *)
+  (match r.Runner.attrib with
+  | None -> ()
+  | Some a ->
+      Buffer.add_string buf
+        (Printf.sprintf {|,"attrib":%s|} (Attrib.to_json a)));
   (match r.Runner.sched_profile with
   | [] -> ()
   | sites ->

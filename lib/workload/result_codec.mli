@@ -33,3 +33,8 @@ val to_json :
 (** One FCT record as a single-line JSON object — the CLI's
     [--stream-results] sink writes one per line (JSONL). *)
 val record_to_json : Fct.record -> string
+
+(** One per-flow delay-attribution record as a single-line JSON object —
+    the CLI's [--attrib] sink writes one per line (JSONL), and
+    [pase_sim report] reads them back. *)
+val attrib_record_to_json : size_pkts:int -> Delay.record -> string

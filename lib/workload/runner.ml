@@ -40,6 +40,8 @@ type result = {
   recovery_s : float;  (* nan when no crash recovered *)
   afct_baseline : float;  (* fault-free AFCT of the same scenario; nan if n/a *)
   afct_inflation : float;  (* afct /. afct_baseline; nan if n/a *)
+  attrib : Attrib.t option;
+      (* per-flow delay attribution aggregate; None unless run ~attrib *)
   peak_heap : int;
   sched_profile : (string * int) list;
   (* GC deltas over the run, profiling runs only (zero otherwise). Like
@@ -85,17 +87,20 @@ let qdisc_for protocol counters ~rtt =
           ~limit_pkts:cfg.Config.queue_limit_pkts
           ~mark_threshold:(mark_threshold_for rate_bps)
 
-let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record protocol
-    scenario =
+let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
+    ?(attrib = false) ?on_attrib ?series protocol scenario =
   (* Fault-free baseline for AFCT inflation, run first so the faulted run's
      process-global state (packet ids, trace clock) is the fresh one.
      Skipped under tracing: the baseline's events would pollute the sinks.
      The baseline inherits [stats] (same memory profile) but never spills
-     records: only the measured run's flows belong in the stream. *)
+     records, never samples and never attributes: only the measured run's
+     flows belong in the stream (and Delay is process-global, like Trace). *)
   let afct_baseline =
     if scenario.Scenario.faults = [] || Trace.on () then nan
     else (run ?horizon ~stats protocol (Scenario.with_faults scenario [])).afct
   in
+  let attrib_agg = if attrib then Some (Attrib.create ()) else None in
+  if attrib then Delay.enable ();
   Packet.reset_ids ();
   let engine = Engine.create () in
   Engine.set_profiling engine profile;
@@ -265,6 +270,16 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record protocol
             ideal = Some ideal;
             task = spec.Scenario.task;
           };
+        (match attrib_agg with
+        | Some agg -> (
+            match Delay.take ~flow:id with
+            | Some r ->
+                Attrib.add agg ~size_pkts r;
+                (match on_attrib with
+                | Some f -> f ~size_pkts r
+                | None -> ())
+            | None -> ())
+        | None -> ());
         incr completed;
         if !completed = total_measured then Engine.stop engine
       end
@@ -326,7 +341,36 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record protocol
     match horizon with Some h -> h | None -> last_arrival +. 5.0
   in
   (match fault_plane with Some fp -> Fault.arm fp | None -> ());
+  (* Fabric sampler: observes the finalized topology's links at a fixed
+     sim-time cadence, plus arbitration-plane counters. Pure observation —
+     results are unchanged whether or not it runs. *)
+  let sampler =
+    match series with
+    | None -> None
+    | Some (store, interval) ->
+        let links =
+          List.map
+            (fun (a, b, l) -> (Printf.sprintf "%d-%d" a b, l))
+            (Net.links net)
+        in
+        let extra () =
+          let base =
+            [
+              ("ctrl.msgs", float_of_int counters.Counters.ctrl_msgs);
+              ("ctrl.lost", float_of_int counters.Counters.ctrl_lost);
+            ]
+          in
+          match hierarchy with
+          | Some h ->
+              ("arb.rounds", float_of_int (Hierarchy.rounds h))
+              :: ("arb.count", float_of_int (Hierarchy.arbitrator_count h))
+              :: base
+          | None -> base
+        in
+        Some (Sampler.start engine ~store ~interval ~links ~extra ())
+  in
   Engine.run ~until:horizon engine;
+  (match sampler with Some s -> Sampler.stop s | None -> ());
   (match hierarchy with Some h -> Hierarchy.stop h | None -> ());
   (match fault_plane with Some fp -> Fault.finish fp | None -> ());
   let end_time = Engine.now engine in
@@ -359,6 +403,7 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record protocol
         match Hierarchy.recovery_s h with Some s -> s | None -> nan)
     | None -> nan
   in
+  if attrib then Delay.disable ();
   {
     scenario = scenario.Scenario.name;
     protocol = name protocol;
@@ -385,6 +430,7 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record protocol
     recovery_s;
     afct_baseline;
     afct_inflation = afct /. afct_baseline;
+    attrib = attrib_agg;
     peak_heap = prof.Engine.peak_heap;
     sched_profile = prof.Engine.sites;
     gc_minor_words = prof.Engine.minor_words;

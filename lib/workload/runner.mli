@@ -51,6 +51,9 @@ type result = {
           fault-free or traced runs (the baseline sub-run is skipped under
           tracing so its events don't pollute the sinks) *)
   afct_inflation : float;  (** [afct /. afct_baseline]; [nan] if n/a *)
+  attrib : Attrib.t option;
+      (** per-flow delay attribution aggregate (see {!Delay} and
+          {!Attrib}); [None] unless [run ~attrib:true] *)
   peak_heap : int;  (** peak engine event-heap depth over the run *)
   sched_profile : (string * int) list;
       (** executions per schedule-site label (see {!Engine.profile});
@@ -81,12 +84,25 @@ type result = {
 
     A non-empty [scenario.faults] schedule is armed on the engine before
     the run and first triggers an unprofiled fault-free sub-run of the same
-    scenario to measure [afct_baseline] (skipped while tracing). *)
+    scenario to measure [afct_baseline] (skipped while tracing).
+
+    [attrib] (default false) turns on per-flow delay attribution ({!Delay})
+    for the measured run (never the baseline sub-run): each completed flow's
+    record lands in [result.attrib], and [on_attrib] (if given) sees every
+    record as the flow completes, in completion order — the CLI's
+    [--attrib] uses it to spill records as JSONL. [series], when given a
+    [(store, interval)] pair, drives a {!Sampler} over the topology's links
+    at [interval] seconds of sim time into [store]. Both are observation
+    layers: the simulated outcome (FCTs, events, counters) is identical
+    with them on or off. *)
 val run :
   ?profile:bool ->
   ?horizon:float ->
   ?stats:[ `Exact | `Streaming ] ->
   ?on_record:(Fct.record -> unit) ->
+  ?attrib:bool ->
+  ?on_attrib:(size_pkts:int -> Delay.record -> unit) ->
+  ?series:Series.store * float ->
   protocol ->
   Scenario.t ->
   result

@@ -253,9 +253,54 @@ let test_ctrl_loss_expiry_and_rerequest () =
     (remote_entries () > 0);
   Alcotest.(check bool) "reachable again" true !reachable
 
+(* ---- attribution under faults ------------------------------------------- *)
+
+(* The exact-sum invariant is not a fair-weather property: with a link flap
+   blackholing packets (and with an arbitrator crash), every completed
+   flow's components still sum to its FCT with float equality, and the
+   flap's retransmission stalls actually land in rto_stall. *)
+let test_attribution_exact_under_faults () =
+  List.iter
+    (fun (name, spec, protocol) ->
+      let records = ref [] in
+      let r =
+        Runner.run ~attrib:true
+          ~on_attrib:(fun ~size_pkts:_ rec_ -> records := rec_ :: !records)
+          protocol
+          (faulted ~flows:60 ~spec ())
+      in
+      Alcotest.(check int)
+        (name ^ ": one record per completed flow")
+        r.Runner.completed
+        (List.length !records);
+      List.iter
+        (fun (rec_ : Delay.record) ->
+          if not (Delay.check_sum rec_) then
+            Alcotest.fail
+              (Printf.sprintf "%s: flow %d components do not sum to fct" name
+                 rec_.Delay.flow))
+        !records;
+      if name = "flap" then begin
+        Alcotest.(check bool) (name ^ ": packets blackholed") true
+          (r.Runner.blackholed_pkts > 0);
+        let total_rto =
+          List.fold_left
+            (fun acc (rec_ : Delay.record) -> acc +. rec_.Delay.rto_stall)
+            0. !records
+        in
+        Alcotest.(check bool) (name ^ ": rto_stall observed") true
+          (total_rto > 0.)
+      end)
+    [
+      ("flap", flap_spec, Runner.pase);
+      ("crash", crash_spec, Runner.pase);
+    ]
+
 let suite =
   [
     Alcotest.test_case "parse roundtrip and errors" `Quick test_parse_roundtrip;
+    Alcotest.test_case "attribution exact under faults" `Slow
+      test_attribution_exact_under_faults;
     Alcotest.test_case "create validates schedules" `Quick test_create_validates;
     Alcotest.test_case "flap blackholes and recovers" `Quick
       test_flap_blackholes_and_recovers;

@@ -21,6 +21,7 @@ let () =
       ("fat-tree", Test_fat_tree.suite);
       ("telemetry", Test_telemetry.suite);
       ("trace", Test_trace.suite);
+      ("attrib", Test_attrib.suite);
       ("behaviours", Test_behaviours.suite);
       ("faults", Test_faults.suite);
       ("laws", Test_laws.suite);

@@ -57,6 +57,44 @@ let test_unknown_label () =
   Alcotest.(check bool) "unknown label nan" true
     (Float.is_nan (Telemetry.mean_utilization t "x"))
 
+(* Chunked [Engine.run ~until] segments must yield exactly the samples a
+   one-shot run produces — times, utilization, depths and per-band byte
+   counters alike. (The engine's horizon check peeks rather than pops, so a
+   tick scheduled past one chunk's horizon keeps its place; this pins the
+   guarantee for telemetry.) *)
+let test_chunked_matches_one_shot () =
+  let with_traffic run_segments =
+    let e, link = rig () in
+    let t = Telemetry.create e ~period:1e-3 [ ("l", link) ] in
+    for i = 0 to 299 do
+      Link.send link (pkt i)
+    done;
+    run_segments e;
+    Telemetry.stop t;
+    Telemetry.samples t "l"
+  in
+  let oneshot = with_traffic (fun e -> Engine.run ~until:0.005 e) in
+  let chunked =
+    with_traffic (fun e ->
+        List.iter
+          (fun until -> Engine.run ~until e)
+          [ 0.0007; 0.0018; 0.003; 0.0042; 0.005 ])
+  in
+  Alcotest.(check int) "same sample count" (List.length oneshot)
+    (List.length chunked);
+  List.iter2
+    (fun (a : Telemetry.sample) (b : Telemetry.sample) ->
+      Alcotest.(check bool) "time" true (a.Telemetry.time = b.Telemetry.time);
+      Alcotest.(check bool) "utilization" true
+        (a.Telemetry.utilization = b.Telemetry.utilization);
+      Alcotest.(check int) "queue pkts" a.Telemetry.queue_pkts
+        b.Telemetry.queue_pkts;
+      Alcotest.(check int) "queue bytes" a.Telemetry.queue_bytes
+        b.Telemetry.queue_bytes;
+      Alcotest.(check bool) "bands" true
+        (a.Telemetry.bands = b.Telemetry.bands))
+    oneshot chunked
+
 let test_rejects_bad_period () =
   let e, link = rig () in
   Alcotest.check_raises "period must be positive"
@@ -69,5 +107,7 @@ let suite =
     Alcotest.test_case "saturated link" `Quick test_saturated_link_full_utilization;
     Alcotest.test_case "stop freezes" `Quick test_stop_freezes_samples;
     Alcotest.test_case "unknown label" `Quick test_unknown_label;
+    Alcotest.test_case "chunked matches one-shot" `Quick
+      test_chunked_matches_one_shot;
     Alcotest.test_case "rejects bad period" `Quick test_rejects_bad_period;
   ]

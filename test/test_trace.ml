@@ -149,6 +149,8 @@ let test_ring_bounds () =
       done;
       Alcotest.(check int) "length bounded" 4 (Trace.ring_length ring);
       Alcotest.(check int) "seen counts evicted" 10 (Trace.ring_seen ring);
+      Alcotest.(check int) "dropped = seen - capacity" 6
+        (Trace.ring_dropped ring);
       let flows =
         List.map
           (function _, Trace.Ctrl { flow; _ } -> flow | _ -> -1)
