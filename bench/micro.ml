@@ -81,15 +81,30 @@ let make_rng seed =
     let z = Int64.logxor z (Int64.shift_right_logical z 31) in
     Int64.to_float (Int64.shift_right_logical z 11) *. (1. /. 9007199254740992.)
 
-let macro ?(attrib = false) ~flows ~reps () =
+let macro ?(attrib = false) ?hybrid ~flows ~reps () =
   let scenario = Scenario.fat_tree_uniform ~k:6 ~num_flows:flows ~seed:1 ~load:0.6 () in
   let samples =
     List.init reps (fun _ ->
         measure (fun () ->
-            let r = Runner.run ~attrib Runner.pase scenario in
+            let r = Runner.run ~attrib ?hybrid Runner.pase scenario in
             r.Runner.events))
   in
   best samples
+
+let hybrid_default =
+  { Runner.enabled = true; fluid_threshold = Runner.default_fluid_threshold }
+
+(* The scale point: a k=10 fat-tree (250 hosts) at tens of thousands of
+   flows, hybrid only — the packet engine at this size is what the hybrid
+   tier exists to avoid, so there is no packet-mode twin. One rep: the
+   run is long enough that scheduler noise is irrelevant. *)
+let macro_scale ~flows () =
+  let scenario =
+    Scenario.fat_tree_uniform ~k:10 ~num_flows:flows ~seed:1 ~load:0.6 ()
+  in
+  measure (fun () ->
+      let r = Runner.run ~hybrid:hybrid_default Runner.pase scenario in
+      r.Runner.events)
 
 (* [width] self-rescheduling events; every pop immediately pushes with a
    pseudo-random delay, so the heap stays [width] deep while add/pop and
@@ -213,17 +228,22 @@ let probe_float line key =
       done;
       float_of_string_opt (String.sub line start (!stop - start))
 
-let entry_json ~label ~quick ~flows ~(macro : sample) ~(attrib_m : sample)
+let entry_json ~label ~quick ~flows ~scale_flows ~(macro : sample)
+    ~(attrib_m : sample) ~(hybrid_m : sample) ~(scale : sample)
     ~(heap : sample) ~(timer : sample) =
-  (* macro_attrib keys are prefixed (attrib_events_per_sec) so the flat
+  (* macro_attrib / macro_hybrid / macro_scale keys are prefixed
+     (attrib_events_per_sec, hybrid_events_per_sec, ...) so the flat
      textual probe stays unambiguous: a plain "events_per_sec" probe keeps
-     hitting the attribution-off macro number. *)
+     hitting the attribution-off packet-mode macro number. *)
   Printf.sprintf
-    {|{"label":"%s","quick":%b,"macro":{"scenario":"fat-tree-k6","protocol":"pase","load":0.6,"flows":%d,"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"gc":{"minor_words":%.0f,"promoted_words":%.0f,"major_collections":%d}},"macro_attrib":{"events":%d,"wall_s":%.6f,"attrib_events_per_sec":%.0f,"attrib_overhead_pct":%.2f},"heap_churn":{"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"minor_words":%.0f},"timer_churn":{"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"minor_words":%.0f}}|}
+    {|{"label":"%s","quick":%b,"macro":{"scenario":"fat-tree-k6","protocol":"pase","load":0.6,"flows":%d,"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"gc":{"minor_words":%.0f,"promoted_words":%.0f,"major_collections":%d}},"macro_attrib":{"events":%d,"wall_s":%.6f,"attrib_events_per_sec":%.0f,"attrib_overhead_pct":%.2f},"macro_hybrid":{"events":%d,"wall_s":%.6f,"hybrid_events_per_sec":%.0f,"hybrid_wall_vs_macro":%.3f},"macro_scale":{"scenario":"fat-tree-k10","flows":%d,"events":%d,"wall_s":%.6f,"scale_events_per_sec":%.0f},"heap_churn":{"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"minor_words":%.0f},"timer_churn":{"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"minor_words":%.0f}}|}
     label quick flows macro.events macro.wall_s (per_sec macro)
     macro.gc.minor_words macro.gc.promoted_words macro.gc.major_collections
     attrib_m.events attrib_m.wall_s (per_sec attrib_m)
     (100. *. ((per_sec macro /. per_sec attrib_m) -. 1.))
+    hybrid_m.events hybrid_m.wall_s (per_sec hybrid_m)
+    (hybrid_m.wall_s /. macro.wall_s)
+    scale_flows scale.events scale.wall_s (per_sec scale)
     heap.events heap.wall_s (per_sec heap) heap.gc.minor_words timer.events
     timer.wall_s (per_sec timer) timer.gc.minor_words
 
@@ -262,9 +282,18 @@ let () =
   let attrib_m = macro ~attrib:true ~flows ~reps () in
   Printf.eprintf "  [micro] macro+attrib: %d events in %.3fs = %.0f ev/s\n%!"
     attrib_m.events attrib_m.wall_s (per_sec attrib_m);
+  let hybrid_m = macro ~hybrid:hybrid_default ~flows ~reps () in
+  Printf.eprintf "  [micro] macro+hybrid: %d events in %.3fs = %.0f ev/s\n%!"
+    hybrid_m.events hybrid_m.wall_s (per_sec hybrid_m);
   let macro = macro ~flows ~reps () in
   Printf.eprintf "  [micro] macro: %d events in %.3fs = %.0f ev/s\n%!"
     macro.events macro.wall_s (per_sec macro);
+  let scale_flows = if !quick then 2000 else 20_000 in
+  Printf.eprintf "  [micro] macro scale: fat-tree k=10, %d flows, hybrid\n%!"
+    scale_flows;
+  let scale = macro_scale ~flows:scale_flows () in
+  Printf.eprintf "  [micro] macro scale: %d events in %.3fs = %.0f ev/s\n%!"
+    scale.events scale.wall_s (per_sec scale);
   let heap = heap_churn ~pops () in
   Printf.eprintf "  [micro] heap churn: %d events in %.3fs = %.0f ev/s\n%!"
     heap.events heap.wall_s (per_sec heap);
@@ -272,7 +301,8 @@ let () =
   Printf.eprintf "  [micro] timer churn: %d events in %.3fs = %.0f ev/s\n%!"
     timer.events timer.wall_s (per_sec timer);
   let entry =
-    entry_json ~label:!label ~quick:!quick ~flows ~macro ~attrib_m ~heap ~timer
+    entry_json ~label:!label ~quick:!quick ~flows ~scale_flows ~macro ~attrib_m
+      ~hybrid_m ~scale ~heap ~timer
   in
   let entries =
     List.filter (fun (l, _) -> l <> !label) (read_entries !out) @ [ (!label, entry) ]

@@ -45,6 +45,10 @@ let scenarios =
       "k=6 fat-tree (54 hosts), uniform random pairs over ECMP",
       fun ~num_flows ~seed ~load ->
         Scenario.fat_tree_uniform ~k:6 ~num_flows ~seed ~load () );
+    ( "fat-tree-k10",
+      "k=10 fat-tree (250 hosts), uniform random pairs over ECMP",
+      fun ~num_flows ~seed ~load ->
+        Scenario.fat_tree_uniform ~k:10 ~num_flows ~seed ~load () );
   ]
 
 let protocols =
@@ -94,6 +98,25 @@ let fault_rows (r : Runner.result) =
       [ "AFCT inflation"; f r.Runner.afct_inflation ];
     ]
 
+let hybrid_rows (r : Runner.result) =
+  match r.Runner.hybrid with
+  | None -> []
+  | Some h ->
+      [
+        [ "hybrid"; (if h.Runner.hybrid_on then "on" else "off (tagging only)") ];
+        [ "fluid threshold (B)"; string_of_int h.Runner.threshold_bytes ];
+        [ "fluid flows"; string_of_int h.Runner.fluid_flows ];
+        [ "fluid demotions"; string_of_int h.Runner.fluid_demotions ];
+        [ "fault demotions"; string_of_int h.Runner.fault_demotions ];
+        [ "fluid recomputes"; string_of_int h.Runner.fluid_recomputes ];
+        [ "fluid bytes"; Printf.sprintf "%.0f" h.Runner.fluid_bytes ];
+        [
+          "short-flow p99 (ms)";
+          (if Float.is_nan h.Runner.short_p99 then "n/a"
+           else Printf.sprintf "%.3f" (h.Runner.short_p99 *. 1e3));
+        ];
+      ]
+
 let print_result (r : Runner.result) =
   Series.print_table
     ~title:
@@ -131,7 +154,7 @@ let print_result (r : Runner.result) =
               Printf.sprintf "%.4f" (Fct.quantile_rank_error r.Runner.fct 99.);
             ];
           ])
-    @ fault_rows r)
+    @ hybrid_rows r @ fault_rows r)
 
 open Cmdliner
 
@@ -254,6 +277,30 @@ let exact_stats_arg =
   in
   Arg.(value & flag & info [ "exact-stats" ] ~doc)
 
+let hybrid_arg =
+  let doc =
+    "Enable the hybrid fluid/packet engine: flows at or above the fluid \
+     threshold (and long-lived background flows) advance as max-min fair \
+     rate shares and demote to packet level for their final bytes (or when \
+     a fault touches their path). Only fluid-capable protocols (DCTCP \
+     family, PASE) use the fluid tier; others run packet-level but still \
+     tag records with the classifier decision."
+  in
+  Arg.(value & flag & info [ "hybrid" ] ~doc)
+
+let fluid_threshold_arg =
+  let doc =
+    "Fluid classifier threshold in bytes (flows of at least $(docv) bytes \
+     are fluid-eligible; demotion fires when remaining bytes fall to \
+     $(docv)). Implies record tagging even without $(b,--hybrid), so a \
+     packet-only run cuts the identical short-flow subset for accuracy \
+     comparison."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fluid-threshold" ] ~docv:"BYTES" ~doc)
+
 let faults_arg =
   let doc =
     "Semicolon-separated fault schedule: \
@@ -348,13 +395,30 @@ let profile_rows (r : Runner.result) =
 let run_cmd =
   let action scenario protocol load flows seed no_cache json trace trace_format
       trace_filter trace_limit profile faults stream_results exact_stats attrib
-      series series_interval =
+      series series_interval hybrid_on fluid_threshold =
     match (find_scenario scenario, find_protocol protocol) with
     | Ok sc, Ok proto ->
         if load <= 0. || load > 1. then `Error (false, "load must be in (0,1]")
         else if series_interval <= 0. then
           `Error (false, "series-interval must be positive")
+        else if
+          match fluid_threshold with Some t -> t <= 0 | None -> false
+        then `Error (false, "fluid-threshold must be positive")
         else begin
+          (* --hybrid alone uses the default threshold; --fluid-threshold
+             alone configures tagging-only (enabled = false) so a packet run
+             carries the classifier tags for accuracy comparison. *)
+          let hybrid =
+            match (hybrid_on, fluid_threshold) with
+            | false, None -> None
+            | enabled, thr ->
+                Some
+                  {
+                    Runner.enabled;
+                    fluid_threshold =
+                      Option.value thr ~default:Runner.default_fluid_threshold;
+                  }
+          in
           let filter =
             match trace_filter with
             | None -> Ok (None, None, None)
@@ -418,7 +482,7 @@ let run_cmd =
                 if not in_process then (
                   match
                     Parallel.run_jobs ~jobs:1 ~cache_dir:(cache_dir ~no_cache)
-                      ~profile
+                      ~profile ?hybrid
                       [ (proto, scn) ]
                   with
                   | [ r ] -> Ok r
@@ -480,7 +544,7 @@ let run_cmd =
                             (Option.map
                                (fun st -> (st, series_interval))
                                series_store)
-                          proto scn)
+                          ?hybrid proto scn)
                   with
                   | r ->
                       (match series_store with
@@ -570,15 +634,29 @@ let run_cmd =
           $ seed_arg $ no_cache_arg $ json_arg $ trace_arg $ trace_format_arg
           $ trace_filter_arg $ trace_limit_arg $ profile_arg $ faults_arg
           $ stream_results_arg $ exact_stats_arg $ attrib_arg $ series_arg
-          $ series_interval_arg))
+          $ series_interval_arg $ hybrid_arg $ fluid_threshold_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol on one scenario") term
 
 let compare_cmd =
-  let action scenario load flows seed jobs no_cache =
+  let action scenario load flows seed jobs no_cache hybrid_on fluid_threshold =
     match find_scenario scenario with
     | Error e -> `Error (false, e)
     | Ok sc ->
+        if match fluid_threshold with Some t -> t <= 0 | None -> false then
+          `Error (false, "fluid-threshold must be positive")
+        else begin
+        let hybrid =
+          match (hybrid_on, fluid_threshold) with
+          | false, None -> None
+          | enabled, thr ->
+              Some
+                {
+                  Runner.enabled;
+                  fluid_threshold =
+                    Option.value thr ~default:Runner.default_fluid_threshold;
+                }
+        in
         (* Fan every protocol out to the worker pool; results come back in
            input order, so the table is identical to a serial run. *)
         let pairs =
@@ -587,7 +665,7 @@ let compare_cmd =
             protocols
         in
         let results =
-          Parallel.run_jobs ?jobs ~cache_dir:(cache_dir ~no_cache) pairs
+          Parallel.run_jobs ?jobs ~cache_dir:(cache_dir ~no_cache) ?hybrid pairs
         in
         let rows =
           List.map2
@@ -609,11 +687,12 @@ let compare_cmd =
           ~header:[ "protocol"; "AFCT(ms)"; "p99(ms)"; "deadline-met"; "loss(%)" ]
           rows;
         `Ok ()
+        end
   in
   let term =
     Term.(
       ret (const action $ scenario_arg $ load_arg $ flows_arg $ seed_arg
-          $ jobs_arg $ no_cache_arg))
+          $ jobs_arg $ no_cache_arg $ hybrid_arg $ fluid_threshold_arg))
   in
   Cmd.v
     (Cmd.info "compare"

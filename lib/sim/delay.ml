@@ -155,20 +155,18 @@ let sync ~flow ~inflight ~gated ~now =
         st.mode <- m
       end
 
-let hop_queue ~flow d =
+(* One accumulation per delivered hop: a single table lookup charges all
+   three measured components. The data path calls this once at delivery
+   (Link.prop_done) instead of separate queue/serialization/propagation
+   hooks at dequeue and tx completion — the hot path pays one guarded call
+   per hop, not three. *)
+let hop ~flow ~queue ~ser ~prop =
   match Hashtbl.find_opt live flow with
   | None -> ()
-  | Some st -> st.q_sum <- st.q_sum +. d
-
-let hop_ser ~flow d =
-  match Hashtbl.find_opt live flow with
-  | None -> ()
-  | Some st -> st.s_sum <- st.s_sum +. d
-
-let hop_prop ~flow d =
-  match Hashtbl.find_opt live flow with
-  | None -> ()
-  | Some st -> st.p_sum <- st.p_sum +. d
+  | Some st ->
+      st.q_sum <- st.q_sum +. queue;
+      st.s_sum <- st.s_sum +. ser;
+      st.p_sum <- st.p_sum +. prop
 
 (* Largest-effort exact residual: find q such that [partial +. q = fct]
    with float equality, starting from the rounded difference and nudging by

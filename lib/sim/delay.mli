@@ -75,11 +75,13 @@ val discard : flow:int -> unit
 val take : flow:int -> record option
 (** Remove and return the finalized record of a completed flow. *)
 
-(** {1 Data-path hooks} (all no-ops for unknown flow ids) *)
+(** {1 Data-path hook} (no-op for unknown flow ids) *)
 
-val hop_queue : flow:int -> float -> unit
-val hop_ser : flow:int -> float -> unit
-val hop_prop : flow:int -> float -> unit
+val hop : flow:int -> queue:float -> ser:float -> prop:float -> unit
+(** One delivered hop's measured components — qdisc residence, link
+    transmit time, wire delay — accumulated with a single lookup. Called
+    once per hop at delivery; packets that are dropped or blackholed
+    mid-hop contribute nothing to the measured proportions. *)
 
 (** {1 Invariant} *)
 

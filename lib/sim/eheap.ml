@@ -131,10 +131,28 @@ let compact t ~keep =
     end
   done;
   let len = !w in
-  for i = len to n - 1 do
-    t.times.(i) <- nan;
-    t.vals.(i) <- t.dummy
-  done;
+  let cap = Array.length t.times in
+  if cap > 64 && 4 * len < cap then begin
+    (* Live occupancy is far below capacity: shrink the backing arrays to
+       2x live (floor 64) so a long run's peak RSS is not pinned at the
+       pre-compaction high-water mark. Strictly smaller than [cap] here
+       because cap > max(64, 4*len). *)
+    let ncap = max 64 (2 * len) in
+    let ntimes = Array.make ncap nan in
+    let nseqs = Array.make ncap 0 in
+    let nvals = Array.make ncap t.dummy in
+    Array.blit t.times 0 ntimes 0 len;
+    Array.blit t.seqs 0 nseqs 0 len;
+    Array.blit t.vals 0 nvals 0 len;
+    t.times <- ntimes;
+    t.seqs <- nseqs;
+    t.vals <- nvals
+  end
+  else
+    for i = len to n - 1 do
+      t.times.(i) <- nan;
+      t.vals.(i) <- t.dummy
+    done;
   t.len <- len;
   for i = (len / 2) - 1 downto 0 do
     sift_down t ~len ~time:t.times.(i) ~seq:t.seqs.(i) t.vals.(i) i
@@ -142,3 +160,4 @@ let compact t ~keep =
 
 let size t = t.len
 let is_empty t = t.len = 0
+let capacity t = Array.length t.times

@@ -38,8 +38,15 @@ val peek_time : 'a t -> float option
 
 (** [compact t ~keep] drops every element for which [keep ~seq v] is false,
     then restores the heap invariant (Floyd heapify, O(n)). Relative order
-    of surviving elements is unchanged because their keys are unchanged. *)
+    of surviving elements is unchanged because their keys are unchanged.
+    When survivors occupy less than a quarter of capacity (and capacity
+    exceeds the 64-slot floor) the SoA backing arrays are reallocated at 2x
+    the live size, releasing the high-water-mark footprint. *)
 val compact : 'a t -> keep:(seq:int -> 'a -> bool) -> unit
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool
+
+(** Current backing-array capacity in slots (all three SoA arrays share
+    it). Exposed for memory accounting and tests. *)
+val capacity : 'a t -> int

@@ -1,0 +1,451 @@
+(* Max-min fair fluid tier. See the .mli for the model; here the load-bearing
+   details are determinism (sorted traversal everywhere a float sum or a
+   callback order could leak) and zero allocation churn on the steady path
+   (per-link scratch lives inside the entry records, reused each pass). *)
+
+type entry = {
+  key : int * int;  (* directed (from, to) *)
+  link : Link.t;
+  mutable n_fluid : int;
+  mutable n_pkt : int;
+  (* water-filling scratch, valid only during one allocation pass *)
+  mutable rem : float;  (* unallocated fluid capacity, bps *)
+  mutable cnt : int;  (* unfrozen fluid flows crossing *)
+  mutable bott : bool;  (* member of the current bottleneck set *)
+  mutable bott_any : bool;  (* froze some flow this pass: holds a standing queue *)
+  mutable fluid_bps : float;  (* summed allocation, pushed to the link *)
+  mutable stale : bool;  (* had a nonzero push that must be reset *)
+}
+
+type fflow = {
+  id : int;
+  path : entry array;
+  mutable remaining : float;  (* bytes; [infinity] = long-lived *)
+  mutable rate : float;  (* bps, last allocation *)
+  mutable last : float;  (* sim time [remaining] was settled at *)
+  mutable frozen : bool;  (* water-filling scratch *)
+  on_demote : remaining_bytes:float -> rate_bps:float -> unit;
+}
+
+type stats = {
+  admitted : int;
+  demotions : int;
+  fault_demotions : int;
+  recomputes : int;
+  bytes_advanced : float;
+  live : int;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  demote_bytes : float;
+  standing_of : float -> float;
+      (* link rate (bps) -> standing-queue latency (s) a fluid flow's
+         congestion control maintains at a bottleneck of that rate *)
+  min_interval : float;
+      (* floor between water-filling passes: churn (admissions, demotions,
+         packet-flow registration) marks the tier dirty and the recompute
+         fires no sooner than [last_alloc + min_interval]. Real congestion
+         control re-converges over RTTs, so an RTT-scale floor trades no
+         modelled fidelity and keeps allocation cost independent of the
+         churn rate. 0 = recompute at every control event. *)
+  flows : (int, fflow) Hashtbl.t;
+  entries : (int * int, entry) Hashtbl.t;
+  pkt_paths : (int, entry array) Hashtbl.t;
+  boundaries : fflow Eheap.t;
+      (* per-flow demotion times under the current allocation; rebuilt at
+         each water-filling pass (rates change every boundary), drained by
+         the boundary timer. Seq keys are flow ids: the pop order is the
+         unique (time, id) order, independent of insertion order. Entries
+         for flows demoted out-of-band (faults) are dropped lazily on pop. *)
+  mutable dirty : bool;
+  mutable last_alloc : float;  (* sim time of the last water-filling pass *)
+  mutable recompute_tm : Engine.timer option;
+  mutable boundary_tm : Engine.timer option;
+  mutable pushed : entry list;  (* entries whose link holds a nonzero push *)
+  mutable admitted : int;
+  mutable demotions : int;
+  mutable fault_demotions : int;
+  mutable recomputes : int;
+  mutable bytes_advanced : float;
+}
+
+let key_cmp (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
+(* Demote when remaining <= boundary + slack: the boundary timer inverts
+   remaining = rate * dt / 8, so settling at its firing time can land a few
+   ulps to either side of the boundary. Half a byte absorbs that without
+   ever being observable at packet granularity. *)
+let due t f = f.remaining <= t.demote_bytes +. 0.5
+
+let settle_flow t f now =
+  if f.rate > 0. && now > f.last then begin
+    let adv = f.rate *. (now -. f.last) /. 8. in
+    t.bytes_advanced <- t.bytes_advanced +. adv;
+    if f.remaining < infinity then
+      f.remaining <- Float.max 0. (f.remaining -. adv)
+  end;
+  f.last <- now
+
+let settle_all t now = Det_tbl.iter (fun _ f -> settle_flow t f now) t.flows
+
+let mark_dirty t =
+  if not t.dirty then begin
+    t.dirty <- true;
+    match t.recompute_tm with
+    | Some tm ->
+        let now = Engine.now t.engine in
+        Engine.timer_schedule_at t.engine tm
+          ~time:(Float.max now (t.last_alloc +. t.min_interval))
+    | None -> ()
+  end
+
+let demote t f ~fault =
+  Hashtbl.remove t.flows f.id;
+  Array.iter (fun e -> e.n_fluid <- e.n_fluid - 1) f.path;
+  t.demotions <- t.demotions + 1;
+  if fault then t.fault_demotions <- t.fault_demotions + 1;
+  f.on_demote ~remaining_bytes:f.remaining ~rate_bps:f.rate
+
+let demote_due t =
+  let hit =
+    List.rev
+      (Det_tbl.fold (fun _ f acc -> if due t f then f :: acc else acc) t.flows [])
+  in
+  List.iter (fun f -> demote t f ~fault:false) hit
+
+(* One water-filling pass over the live flows: repeatedly find the tightest
+   link (smallest equal share among its unfrozen flows), freeze every
+   unfrozen flow crossing a tightest link at that share, subtract, repeat.
+   Bottleneck membership is snapshotted per iteration so the in-place
+   subtraction cannot skew which flows freeze this round. *)
+let allocate t =
+  let fls = List.rev (Det_tbl.fold (fun _ f acc -> f :: acc) t.flows []) in
+  List.iter
+    (fun f ->
+      f.frozen <- false;
+      f.rate <- 0.)
+    fls;
+  let parts =
+    List.rev
+      (Det_tbl.fold ~cmp:key_cmp
+         (fun _ e acc ->
+           if e.n_fluid > 0 then begin
+             let share =
+               float_of_int e.n_fluid /. float_of_int (e.n_fluid + e.n_pkt)
+             in
+             e.rem <-
+               (if Link.is_up e.link then Link.rate_bps e.link *. share else 0.);
+             e.cnt <- e.n_fluid;
+             e.bott <- false;
+             e.bott_any <- false;
+             e.fluid_bps <- 0.;
+             e :: acc
+           end
+           else acc)
+         t.entries [])
+  in
+  let unfrozen = ref (List.length fls) in
+  while !unfrozen > 0 do
+    let s =
+      List.fold_left
+        (fun acc e ->
+          if e.cnt > 0 then Float.min acc (e.rem /. float_of_int e.cnt) else acc)
+        infinity parts
+    in
+    if s = infinity then begin
+      (* No constraining link (unreachable: every flow crosses links that
+         count it). Freeze everything at zero to guarantee termination. *)
+      List.iter (fun f -> f.frozen <- true) fls;
+      unfrozen := 0
+    end
+    else begin
+      let s = Float.max 0. s in
+      List.iter
+        (fun e ->
+          if e.cnt > 0 && e.rem /. float_of_int e.cnt = s then begin
+            e.bott <- true;
+            e.bott_any <- true
+          end)
+        parts;
+      List.iter
+        (fun f ->
+          if (not f.frozen) && Array.exists (fun e -> e.bott) f.path then begin
+            f.frozen <- true;
+            f.rate <- s;
+            decr unfrozen;
+            Array.iter
+              (fun e ->
+                e.rem <- Float.max 0. (e.rem -. s);
+                e.cnt <- e.cnt - 1)
+              f.path
+          end)
+        fls;
+      List.iter (fun e -> e.bott <- false) parts
+    end
+  done;
+  (* Per-link totals, summed in flow-id order (deterministic float sums),
+     pushed to the links; links that lost their fluid load are reset. *)
+  List.iter
+    (fun f -> Array.iter (fun e -> e.fluid_bps <- e.fluid_bps +. f.rate) f.path)
+    fls;
+  let prev = t.pushed in
+  t.pushed <- [];
+  List.iter (fun e -> e.stale <- true) prev;
+  List.iter
+    (fun e ->
+      if e.fluid_bps > 0. then begin
+        Link.set_fluid_bps e.link e.fluid_bps;
+        (* Only links that actually constrained (froze) a flow hold a
+           standing queue; transit links a flow merely crosses stay clean. *)
+        Link.set_standing_s e.link
+          (if e.bott_any then t.standing_of (Link.rate_bps e.link) else 0.);
+        e.stale <- false;
+        t.pushed <- e :: t.pushed
+      end)
+    parts;
+  List.iter
+    (fun e ->
+      if e.stale then begin
+        Link.set_fluid_bps e.link 0.;
+        Link.set_standing_s e.link 0.;
+        e.stale <- false
+      end)
+    prev
+
+let boundary_time t f =
+  f.last +. ((f.remaining -. t.demote_bytes) *. 8. /. f.rate)
+
+let heap_live t f =
+  match Hashtbl.find_opt t.flows f.id with Some g -> g == f | None -> false
+
+(* Rebuild the boundary schedule from scratch: rates just changed, so every
+   previously computed demotion time is void. O(live), once per pass. *)
+let rebuild_boundaries t =
+  Eheap.compact t.boundaries ~keep:(fun ~seq:_ _ -> false);
+  Det_tbl.iter
+    (fun _ f ->
+      if f.rate > 0. && f.remaining < infinity then
+        Eheap.add t.boundaries ~time:(boundary_time t f) ~seq:f.id f)
+    t.flows
+
+let arm_boundary t now =
+  match t.boundary_tm with
+  | None -> ()
+  | Some tm -> (
+      match Eheap.peek_time t.boundaries with
+      | Some next ->
+          Engine.timer_schedule_at t.engine tm ~time:(Float.max now next)
+      | None -> Engine.timer_cancel t.engine tm)
+
+(* The allocation handler: settle, demote whatever is due, then reallocate
+   and rebuild the boundary schedule. Demotion side effects (the demoted
+   flow re-registers as a packet flow) may re-mark dirty; the extra pass —
+   rate-limited by [min_interval] — is idempotent. *)
+let do_recompute t =
+  t.dirty <- false;
+  t.recomputes <- t.recomputes + 1;
+  let now = Engine.now t.engine in
+  settle_all t now;
+  demote_due t;
+  allocate t;
+  t.last_alloc <- now;
+  rebuild_boundaries t;
+  arm_boundary t now
+
+(* The boundary handler: demotions must land on time (the demoted flow's
+   packet tail starts here), but the water-filling pass they trigger may
+   lag by [min_interval] — the freed share stays allocated to the departed
+   flow until then, exactly as a real sender's competitors only claim freed
+   bandwidth over the next RTTs. Draining the heap keeps the per-demotion
+   cost at O(path + log live) instead of O(live x links). *)
+let on_boundary t =
+  let now = Engine.now t.engine in
+  let demoted = ref false in
+  let rec drain () =
+    match Eheap.peek_time t.boundaries with
+    | Some tm when tm <= now ->
+        let f = Eheap.pop_min t.boundaries in
+        if heap_live t f then begin
+          settle_flow t f now;
+          if due t f then begin
+            demote t f ~fault:false;
+            demoted := true
+          end
+          else
+            (* Settled a few ulps short of the boundary: try again at the
+               recomputed crossing (strictly later — remaining is more
+               than half a byte above the boundary, and the rate is
+               unchanged). *)
+            Eheap.add t.boundaries ~time:(boundary_time t f) ~seq:f.id f
+        end;
+        drain ()
+    | _ -> ()
+  in
+  drain ();
+  if !demoted then mark_dirty t;
+  arm_boundary t now
+
+let create engine net ~demote_bytes ?(standing_of = fun _ -> 0.)
+    ?(min_interval = 0.) () =
+  if demote_bytes < 0. then invalid_arg "Fluid.create: negative boundary";
+  if min_interval < 0. then invalid_arg "Fluid.create: negative interval";
+  let dummy_fflow =
+    {
+      id = -1;
+      path = [||];
+      remaining = 0.;
+      rate = 0.;
+      last = 0.;
+      frozen = false;
+      on_demote = (fun ~remaining_bytes:_ ~rate_bps:_ -> ());
+    }
+  in
+  let t =
+    {
+      engine;
+      net;
+      demote_bytes;
+      standing_of;
+      min_interval;
+      flows = Hashtbl.create 512;
+      entries = Hashtbl.create 512;
+      pkt_paths = Hashtbl.create 512;
+      boundaries = Eheap.create ~dummy:dummy_fflow ();
+      dirty = false;
+      last_alloc = neg_infinity;
+      recompute_tm = None;
+      boundary_tm = None;
+      pushed = [];
+      admitted = 0;
+      demotions = 0;
+      fault_demotions = 0;
+      recomputes = 0;
+      bytes_advanced = 0.;
+    }
+  in
+  t.recompute_tm <-
+    Some (Engine.timer ~label:"fluid-recompute" engine (fun () -> do_recompute t));
+  t.boundary_tm <-
+    Some (Engine.timer ~label:"fluid-boundary" engine (fun () -> on_boundary t));
+  t
+
+let entry_of t a b =
+  let key = (a, b) in
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+      let link =
+        match Net.link_from t.net a b with
+        | Some l -> l
+        | None -> invalid_arg "Fluid: path hop without a link"
+      in
+      let e =
+        {
+          key;
+          link;
+          n_fluid = 0;
+          n_pkt = 0;
+          rem = 0.;
+          cnt = 0;
+          bott = false;
+          bott_any = false;
+          fluid_bps = 0.;
+          stale = false;
+        }
+      in
+      Hashtbl.replace t.entries key e;
+      e
+
+let entries_of_route t ~id ~src ~dst =
+  let nodes = Net.route t.net ~flow:id ~src ~dst () in
+  let rec hops = function
+    | a :: (b :: _ as rest) -> entry_of t a b :: hops rest
+    | _ -> []
+  in
+  Array.of_list (hops nodes)
+
+let admit t ~id ~src ~dst ~bytes ~on_demote =
+  if bytes <= 0. then invalid_arg "Fluid.admit: bytes must be positive";
+  t.admitted <- t.admitted + 1;
+  if bytes <= t.demote_bytes +. 0.5 then begin
+    (* Already at the boundary: goes straight to the packet tier, with the
+       same observable behaviour as never having been classified fluid. *)
+    t.demotions <- t.demotions + 1;
+    on_demote ~remaining_bytes:bytes ~rate_bps:0.
+  end
+  else begin
+    let path = entries_of_route t ~id ~src ~dst in
+    Array.iter (fun e -> e.n_fluid <- e.n_fluid + 1) path;
+    let f =
+      {
+        id;
+        path;
+        remaining = bytes;
+        rate = 0.;
+        last = Engine.now t.engine;
+        frozen = false;
+        on_demote;
+      }
+    in
+    Hashtbl.replace t.flows id f;
+    mark_dirty t
+  end
+
+let register_packet t ~id ~src ~dst =
+  let path = entries_of_route t ~id ~src ~dst in
+  Hashtbl.replace t.pkt_paths id path;
+  let shared = ref false in
+  Array.iter
+    (fun e ->
+      e.n_pkt <- e.n_pkt + 1;
+      if e.n_fluid > 0 then shared := true)
+    path;
+  if !shared then mark_dirty t
+
+let unregister_packet t ~id =
+  match Hashtbl.find_opt t.pkt_paths id with
+  | None -> ()
+  | Some path ->
+      Hashtbl.remove t.pkt_paths id;
+      let shared = ref false in
+      Array.iter
+        (fun e ->
+          e.n_pkt <- e.n_pkt - 1;
+          if e.n_fluid > 0 then shared := true)
+        path;
+      if !shared then mark_dirty t
+
+let on_link_change t a b ~up =
+  if not up then begin
+    let hit =
+      List.rev
+        (Det_tbl.fold
+           (fun _ f acc ->
+             let crosses =
+               Array.exists
+                 (fun e ->
+                   let ea, eb = e.key in
+                   (ea = a && eb = b) || (ea = b && eb = a))
+                 f.path
+             in
+             if crosses then f :: acc else acc)
+           t.flows [])
+    in
+    List.iter (fun f -> demote t f ~fault:true) hit
+  end;
+  mark_dirty t
+
+let flush t = settle_all t (Engine.now t.engine)
+
+let stats t =
+  {
+    admitted = t.admitted;
+    demotions = t.demotions;
+    fault_demotions = t.fault_demotions;
+    recomputes = t.recomputes;
+    bytes_advanced = t.bytes_advanced;
+    live = Hashtbl.length t.flows;
+  }

@@ -18,6 +18,18 @@ type t = {
   engine : Engine.t;
   qdisc : Queue_disc.t;
   rate_bps : float;
+  mutable fluid_bps : float;
+      (* capacity consumed by the fluid tier; the transmitter serializes
+         against the residual. 0 outside hybrid runs: [rate -. 0. = rate]
+         exactly, so the packet path is bit-identical with hybrid off. *)
+  mutable standing_s : float;
+      (* extra one-way latency modelling the standing queue fluid flows
+         bottlenecked here maintain (DCTCP holds ~K packets); 0 outside
+         hybrid runs and on non-bottleneck links *)
+  mutable last_arrival : float;
+      (* latest scheduled arrival; arrivals are clamped monotone so the
+         constant-delay FIFO ring keeps firing in order even as
+         [standing_s] moves between fluid recomputes *)
   delay_s : float;
   deliver : Packet.t -> unit;
   counters : Counters.t option;
@@ -80,7 +92,9 @@ let transmit_next t =
         t.busy <- true;
         (* lint: allow pool-lifetime — ownership transfers to the wire head; handed to the fly ring or blackholed at tx_done *)
         t.txing <- pkt;
-        let tx_time = float_of_int (8 * pkt.Packet.size) /. t.rate_bps in
+        let tx_time =
+          float_of_int (8 * pkt.Packet.size) /. (t.rate_bps -. t.fluid_bps)
+        in
         Engine.schedule ~label:"link-tx" t.engine ~delay:tx_time t.tx_done
 
 let create engine ~qdisc ~rate_bps ~delay_s ?counters ~deliver () =
@@ -95,6 +109,9 @@ let create engine ~qdisc ~rate_bps ~delay_s ?counters ~deliver () =
       delay_s;
       deliver;
       counters;
+      fluid_bps = 0.;
+      standing_s = 0.;
+      last_arrival = 0.;
       busy = false;
       up = true;
       tx_doomed = false;
@@ -118,7 +135,20 @@ let create engine ~qdisc ~rate_bps ~delay_s ?counters ~deliver () =
         blackhole t pkt
       end
       else begin
-        if Delay.on () then Delay.hop_prop ~flow:pkt.Packet.flow t.delay_s;
+        (if Delay.on () then
+           (* The whole hop's attribution in one call: arrival time minus
+              the propagation and (current-rate) serialization components is
+              the qdisc residence, measured from the [enq_at] stamp. Only
+              delivered packets contribute to the measured proportions. *)
+           let ser =
+             float_of_int (8 * pkt.Packet.size) /. (t.rate_bps -. t.fluid_bps)
+           in
+           let queue =
+             Delay.now () -. t.delay_s -. ser -. pkt.Packet.enq_at
+           in
+           Delay.hop ~flow:pkt.Packet.flow
+             ~queue:(Float.max 0. queue)
+             ~ser ~prop:t.delay_s);
         t.deliver pkt
       end);
   t.tx_done <-
@@ -134,9 +164,6 @@ let create engine ~qdisc ~rate_bps ~delay_s ?counters ~deliver () =
       end
       else begin
         t.bytes_txed <- t.bytes_txed + pkt.Packet.size;
-        if Delay.on () then
-          Delay.hop_ser ~flow:pkt.Packet.flow
-            (float_of_int (8 * pkt.Packet.size) /. t.rate_bps);
         (if Trace.on () then
            let l = t.qdisc.Queue_disc.loc in
            Trace.emit
@@ -144,8 +171,23 @@ let create engine ~qdisc ~rate_bps ~delay_s ?counters ~deliver () =
         (* Propagation: the head bit pipeline is folded into arrival time;
            the transmitter is free as soon as the last bit leaves. *)
         fly_push t pkt;
-        Engine.schedule ~label:"link-prop" t.engine ~delay:t.delay_s
-          t.prop_done;
+        (* The fast branch is the exact pre-hybrid computation: with the
+           standing term never set (and so [last_arrival] never touched)
+           the scheduled delay is bit-identical to [delay_s]. The slow
+           branch clamps arrivals monotone — a FIFO never reorders — so a
+           shrinking standing term cannot invert the fly ring's order. *)
+        (if t.standing_s = 0. && t.last_arrival = 0. then
+           Engine.schedule ~label:"link-prop" t.engine ~delay:t.delay_s
+             t.prop_done
+         else begin
+           let now = Engine.now t.engine in
+           let arrive =
+             Float.max (now +. t.delay_s +. t.standing_s) t.last_arrival
+           in
+           t.last_arrival <- arrive;
+           Engine.schedule ~label:"link-prop" t.engine ~delay:(arrive -. now)
+             t.prop_done
+         end);
         transmit_next t
       end);
   t
@@ -171,6 +213,26 @@ let send t pkt =
 
 let rate_bps t = t.rate_bps
 let delay_s t = t.delay_s
+
+(* At most 98% of the line rate goes to the fluid tier: the residual keeps
+   ACKs and stray control packets of the packet tier trickling even on
+   links the allocator filled completely (n_pkt counts only registered
+   data paths, not reverse ACK paths). *)
+let set_fluid_bps t bps =
+  let bps = Float.max 0. (Float.min bps (0.98 *. t.rate_bps)) in
+  if bps <> t.fluid_bps then begin
+    t.fluid_bps <- bps;
+    t.qdisc.Queue_disc.set_cap_frac ((t.rate_bps -. t.fluid_bps) /. t.rate_bps)
+  end
+
+let fluid_bps t = t.fluid_bps
+
+(* Standing-queue latency from the fluid tier: DCTCP-family fluid flows hold
+   roughly the marking threshold of backlog at their bottleneck, which
+   packet-tier traffic waits behind in the full engine. Negative values
+   clamp to zero; shrinkage is safe (arrival clamping above). *)
+let set_standing_s t s = t.standing_s <- Float.max 0. s
+let standing_s t = t.standing_s
 let qdisc t = t.qdisc
 let bytes_txed t = t.bytes_txed
 let busy t = t.busy

@@ -23,6 +23,27 @@ val rate_bps : t -> float
 val delay_s : t -> float
 val qdisc : t -> Queue_disc.t
 
+(** Hybrid coupling: [set_fluid_bps t bps] declares that the fluid tier
+    consumes [bps] of this link's capacity (clamped to 98% of line rate).
+    The transmitter serializes packets against the residual and the qdisc
+    rescales its ECN threshold to the residual drain rate. 0 outside hybrid
+    runs — the packet path is then bit-identical to a build without the
+    fluid tier. *)
+val set_fluid_bps : t -> float -> unit
+
+val fluid_bps : t -> float
+
+(** [set_standing_s t s] adds [s] seconds of one-way latency modelling the
+    standing queue that fluid flows bottlenecked on this link maintain
+    (DCTCP-family congestion control holds roughly the marking threshold of
+    backlog, which packet-tier traffic waits behind in the full engine).
+    Arrivals stay monotone — a FIFO never reorders — so the term may shrink
+    between fluid recomputes without breaking event order. Negative values
+    clamp to zero; 0 outside hybrid runs (bit-identical packet path). *)
+val set_standing_s : t -> float -> unit
+
+val standing_s : t -> float
+
 (** Total bytes fully transmitted so far (utilization accounting). *)
 val bytes_txed : t -> int
 

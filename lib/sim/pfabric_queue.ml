@@ -122,5 +122,9 @@ let create counters ~limit_pkts =
     bytes = (fun () -> !bytes);
     bands = band_occ;
     drops = (fun () -> !drops);
+    (* pFabric has no marking and its priority dropping is size-based, not
+       rate-calibrated; the fluid tier also never shares links with it
+       (pFabric is not fluid-whitelisted), so the fraction is irrelevant. *)
+    set_cap_frac = (fun _ -> ());
     loc;
   }

@@ -40,6 +40,10 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
     in
     scan (bands - 1)
   in
+  let eff_mark = ref mark_threshold in
+  let set_cap_frac frac =
+    eff_mark := Queue_disc.scaled_threshold mark_threshold frac
+  in
   let enqueue pkt =
     let band = band_of pkt in
     let admitted =
@@ -51,7 +55,7 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
       Queue_disc.count_drop loc counters ~qpkts:!total pkt
     end
     else begin
-      if pkt.Packet.ecn_capable && Queue.length qs.(band) >= mark_threshold
+      if pkt.Packet.ecn_capable && Queue.length qs.(band) >= !eff_mark
       then Queue_disc.count_mark loc counters ~qpkts:!total pkt;
       (* lint: allow pool-lifetime — ownership transfers to the band queue; freed on drop or delivery *)
       Queue.push pkt qs.(band);
@@ -87,6 +91,7 @@ let create_with_inspect counters ~bands ~limit_pkts ~mark_threshold =
       bytes = (fun () -> !bytes);
       bands = band_occ;
       drops = (fun () -> !drops);
+      set_cap_frac;
       loc;
     }
   in

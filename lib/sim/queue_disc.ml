@@ -5,8 +5,17 @@ type t = {
   bytes : unit -> int;
   bands : unit -> (int * int) array;
   drops : unit -> int;
+  set_cap_frac : float -> unit;
   loc : Trace.loc;
 }
+
+(* Marking thresholds scale with the capacity fraction left to the packet
+   tier: DCTCP's K is calibrated to the drain rate, so when fluid traffic
+   consumes part of the link the residual drains slower and must mark
+   earlier. Computed only when the fraction changes (a fluid control event),
+   never on the per-packet path. *)
+let scaled_threshold k frac =
+  max 1 (int_of_float (ceil (float_of_int k *. frac)))
 
 let link_of (loc : Trace.loc) = (loc.Trace.from_node, loc.Trace.to_node)
 
@@ -32,8 +41,9 @@ let count_enqueue (loc : Trace.loc) (c : Counters.t) ~qpkts (pkt : Packet.t) =
 let count_dequeue (loc : Trace.loc) (c : Counters.t) ~qpkts (pkt : Packet.t) =
   c.dequeued_pkts <- c.dequeued_pkts + 1;
   c.dequeued_bytes <- c.dequeued_bytes + pkt.size;
-  if Delay.on () then
-    Delay.hop_queue ~flow:pkt.flow (Delay.now () -. pkt.enq_at);
+  (* Delay attribution reads [pkt.enq_at] once per hop at delivery time
+     (Link.prop_done), not here: one combined accumulation per hop instead
+     of three separate guarded table lookups. *)
   if Trace.on () then
     Trace.emit (Trace.Dequeue { pkt; link = link_of loc; qpkts })
 
@@ -49,13 +59,19 @@ let fifo counters ~limit_pkts ~mark_threshold =
   let bytes = ref 0 in
   let drops = ref 0 in
   let loc = Trace.unattached_loc () in
+  let eff_mark = ref mark_threshold in
+  let set_cap_frac frac =
+    match mark_threshold with
+    | Some k -> eff_mark := Some (scaled_threshold k frac)
+    | None -> ()
+  in
   let enqueue pkt =
     if Queue.length q >= limit_pkts then begin
       incr drops;
       count_drop loc counters ~qpkts:(Queue.length q) pkt
     end
     else begin
-      (match mark_threshold with
+      (match !eff_mark with
       | Some k when pkt.Packet.ecn_capable && Queue.length q >= k ->
           count_mark loc counters ~qpkts:(Queue.length q) pkt
       | _ -> ());
@@ -80,6 +96,7 @@ let fifo counters ~limit_pkts ~mark_threshold =
     bytes = (fun () -> !bytes);
     bands = no_bands;
     drops = (fun () -> !drops);
+    set_cap_frac;
     loc;
   }
 

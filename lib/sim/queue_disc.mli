@@ -16,6 +16,11 @@ type t = {
   drops : unit -> int;
       (** cumulative packets dropped by this discipline since creation
           (admission failures and priority evictions alike) *)
+  set_cap_frac : float -> unit;
+      (** hybrid coupling: fraction of link capacity left to the packet
+          tier (1.0 = no fluid load). Marking disciplines rescale their ECN
+          threshold to the residual drain rate; others ignore it. Called
+          only at fluid control events, never per packet. *)
   loc : Trace.loc;
       (** the directed link this discipline drains; [Net.connect] fills it
           in so trace events carry the link identity *)
@@ -45,3 +50,7 @@ val count_mark : Trace.loc -> Counters.t -> qpkts:int -> Packet.t -> unit
 
 (** Shared empty [bands] value for unbanded disciplines. *)
 val no_bands : unit -> (int * int) array
+
+(** [scaled_threshold k frac] is a mark threshold rescaled to a capacity
+    fraction: [max 1 (ceil (k * frac))]. Exactly [k] at [frac = 1.0]. *)
+val scaled_threshold : int -> float -> int

@@ -7,6 +7,10 @@ type record = {
   censored : bool;
   ideal : float option;
   task : int option;
+  fluid : bool;
+      (* hybrid fidelity tag: the classifier marked this flow fluid-eligible
+         (part of its bytes may have been advanced analytically). Always
+         false outside hybrid-configured runs. *)
 }
 
 (* Streaming aggregates: constant memory in the flow count. Completed
@@ -93,9 +97,9 @@ let add_record t r =
   if r.censored then t.censored_n <- t.censored_n + 1
 
 let add t ~flow ~size_pkts ~start_time ~fct ?deadline ?(censored = false)
-    ?ideal ?task () =
+    ?ideal ?task ?(fluid = false) () =
   add_record t
-    { flow; size_pkts; start_time; fct; deadline; censored; ideal; task }
+    { flow; size_pkts; start_time; fct; deadline; censored; ideal; task; fluid }
 
 let records t =
   match t.store with
@@ -131,6 +135,18 @@ let percentile t p =
         invalid_arg "Fct.percentile: p out of range";
       if Tdigest.count s.fct_sketch = 0 then nan
       else Tdigest.quantile s.fct_sketch (p /. 100.)
+
+(* Short-flow accuracy metric for the hybrid engine: a percentile over the
+   completed flows the classifier left entirely at packet level. The tag is
+   assigned by the classifier (not by what the engine actually did), so a
+   hybrid run and a pure packet run with the same threshold cut the same
+   subset and their percentiles are directly comparable. Exact mode scans
+   all records; streaming mode estimates from the reservoir sample. *)
+let packet_tier_percentile t p =
+  Summary.percentile p
+    (List.filter_map
+       (fun r -> if r.censored || r.fluid then None else Some r.fct)
+       (records t))
 
 let cdf ?(points = 100) t =
   match t.store with

@@ -25,6 +25,10 @@ type record = {
   ideal : float option;
       (** the flow's zero-load FCT (base RTT + serialization), if known *)
   task : int option;  (** task (query) id, for task-completion metrics *)
+  fluid : bool;
+      (** hybrid fidelity tag: the classifier marked this flow
+          fluid-eligible (part of its bytes may have been advanced
+          analytically). Always [false] outside hybrid-configured runs. *)
 }
 
 type t
@@ -50,6 +54,7 @@ val add :
   ?censored:bool ->
   ?ideal:float ->
   ?task:int ->
+  ?fluid:bool ->
   unit ->
   unit
 
@@ -78,6 +83,14 @@ val afct : t -> float
     the exact rank. Raises [Invalid_argument] if [p] is outside
     [0, 100]. *)
 val percentile : t -> float -> float
+
+(** [packet_tier_percentile t p] over completed flows the classifier left
+    entirely at packet level ([not fluid]); [nan] if there are none. The
+    hybrid accuracy metric: the tag follows the classifier decision, not
+    engine behaviour, so a hybrid run and a pure packet run with the same
+    threshold cut the identical subset. Streaming mode estimates from the
+    reservoir sample. *)
+val packet_tier_percentile : t -> float -> float
 
 (** [cdf ?points t]: the completed-FCT distribution at [points] evenly
     spaced quantiles, nearest-rank in exact mode and sketch-interpolated

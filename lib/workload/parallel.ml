@@ -88,7 +88,7 @@ let scenario_key (s : Scenario.t) =
     ]
 
 let job_key ?horizon ?(profile = false) ?(stats = `Exact) ?(attrib = false)
-    proto scenario =
+    ?hybrid proto scenario =
   let descr =
     String.concat "\n"
       [
@@ -107,6 +107,13 @@ let job_key ?horizon ?(profile = false) ?(stats = `Exact) ?(attrib = false)
         (* Attributed results embed the Attrib aggregate, so they cache
            separately from plain runs of the same configuration. *)
         Printf.sprintf "attrib=%b" attrib;
+        (* Hybrid runs (and hybrid-tagged packet runs — the classifier tag
+           lands in every record) cache separately per threshold. *)
+        (match (hybrid : Runner.hybrid option) with
+        | None -> "hybrid=-"
+        | Some h ->
+            Printf.sprintf "hybrid=%b/%d" h.Runner.enabled
+              h.Runner.fluid_threshold);
       ]
   in
   Digest.to_hex (Digest.string descr)
@@ -173,8 +180,8 @@ type worker = { pid : int; idx : int; buf : Buffer.t; started : float }
    worker simulates its configuration and streams the encoded result back
    over its pipe; the parent multiplexes reads with [select] so a worker
    never blocks on a full pipe buffer. *)
-let run_pool ~jobs ~horizon ~profile ~stats ~attrib ~(arr : job array) pending
-    ~on_done =
+let run_pool ~jobs ~horizon ~profile ~stats ~attrib ~hybrid ~(arr : job array)
+    pending ~on_done =
   let queue = ref pending in
   let active : (Unix.file_descr, worker) Hashtbl.t = Hashtbl.create jobs in
   let spawn idx =
@@ -188,7 +195,9 @@ let run_pool ~jobs ~horizon ~profile ~stats ~attrib ~(arr : job array) pending
         let status =
           match
             let proto, scenario = arr.(idx) in
-            let r = Runner.run ~profile ?horizon ~stats ~attrib proto scenario in
+            let r =
+              Runner.run ~profile ?horizon ~stats ~attrib ?hybrid proto scenario
+            in
             write_all wr (Result_codec.encode r)
           with
           | () -> 0
@@ -274,7 +283,8 @@ let run_pool ~jobs ~horizon ~profile ~stats ~attrib ~(arr : job array) pending
 (* ---- driver ------------------------------------------------------------- *)
 
 let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false) ?(stats = `Exact)
-    ?(attrib = false) ?(on_result = fun _ ~cached:_ ~wall:_ _ -> ()) pairs =
+    ?(attrib = false) ?hybrid ?(on_result = fun _ ~cached:_ ~wall:_ _ -> ())
+    pairs =
   let jobs =
     match jobs with Some j -> max 1 j | None -> max 1 (default_jobs ())
   in
@@ -284,7 +294,9 @@ let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false) ?(stats = `Exact)
   let arr = Array.of_list pairs in
   let n = Array.length arr in
   let keys =
-    Array.map (fun (p, s) -> job_key ?horizon ~profile ~stats ~attrib p s) arr
+    Array.map
+      (fun (p, s) -> job_key ?horizon ~profile ~stats ~attrib ?hybrid p s)
+      arr
   in
   let results : Runner.result option array = Array.make n None in
   let settle i ~cached ~wall r =
@@ -324,7 +336,9 @@ let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false) ?(stats = `Exact)
       let proto, scenario = arr.(i) in
       (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
       let t0 = Unix.gettimeofday () in
-      let r = Runner.run ~profile ?horizon ~stats ~attrib proto scenario in
+      let r =
+        Runner.run ~profile ?horizon ~stats ~attrib ?hybrid proto scenario
+      in
       (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
       publish i r (Unix.gettimeofday () -. t0)
   | pending_list ->
@@ -334,13 +348,15 @@ let run_jobs ?jobs ?cache_dir ?horizon ?(profile = false) ?(stats = `Exact)
             let proto, scenario = arr.(i) in
             (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
             let t0 = Unix.gettimeofday () in
-            let r = Runner.run ~profile ?horizon ~stats ~attrib proto scenario in
+            let r =
+              Runner.run ~profile ?horizon ~stats ~attrib ?hybrid proto scenario
+            in
             (* lint: allow no-wallclock — job elapsed-time diagnostics only *)
             publish i r (Unix.gettimeofday () -. t0))
           pending_list
       else
-        run_pool ~jobs ~horizon ~profile ~stats ~attrib ~arr pending_list
-          ~on_done:publish);
+        run_pool ~jobs ~horizon ~profile ~stats ~attrib ~hybrid ~arr
+          pending_list ~on_done:publish);
   (* 4. Fan shared results back out to duplicate configurations. *)
   Array.to_list
     (Array.mapi

@@ -30,6 +30,7 @@ val job_key :
   ?profile:bool ->
   ?stats:[ `Exact | `Streaming ] ->
   ?attrib:bool ->
+  ?hybrid:Runner.hybrid ->
   Runner.protocol ->
   Scenario.t ->
   string
@@ -50,6 +51,9 @@ val job_key :
       {!Attrib} aggregate and cache under distinct keys. (Per-record
       [on_attrib] spilling and the fabric sampler are in-process-only
       concerns — use {!Runner.run} directly for those.)
+    - [hybrid]: forwarded to {!Runner.run}; hybrid-configured results (even
+      with [enabled = false] — the classifier tag lands in every record)
+      cache under distinct keys per threshold.
     - [on_result i ~cached ~wall r] fires once per job as results become
       available (completion order under parallelism); [cached] tells whether
       the result was served from the cache, [wall] is the worker wall-clock
@@ -66,6 +70,7 @@ val run_jobs :
   ?profile:bool ->
   ?stats:[ `Exact | `Streaming ] ->
   ?attrib:bool ->
+  ?hybrid:Runner.hybrid ->
   ?on_result:(int -> cached:bool -> wall:float -> Runner.result -> unit) ->
   job list ->
   Runner.result list

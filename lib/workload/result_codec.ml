@@ -1,4 +1,4 @@
-let version = 6
+let version = 7
 let magic = "PASE-RES"
 let header_len = String.length magic + 4
 
@@ -50,7 +50,7 @@ let json_opt_int = function None -> "null" | Some i -> string_of_int i
 
 let record_to_json (r : Fct.record) =
   Printf.sprintf
-    {|{"flow":%d,"size_pkts":%d,"start":%s,"fct":%s,"deadline":%s,"censored":%b,"ideal":%s,"task":%s}|}
+    {|{"flow":%d,"size_pkts":%d,"start":%s,"fct":%s,"deadline":%s,"censored":%b,"ideal":%s,"task":%s,"fluid":%b}|}
     r.Fct.flow r.Fct.size_pkts
     (json_float r.Fct.start_time)
     (json_float r.Fct.fct)
@@ -58,6 +58,7 @@ let record_to_json (r : Fct.record) =
     r.Fct.censored
     (json_opt_float r.Fct.ideal)
     (json_opt_int r.Fct.task)
+    r.Fct.fluid
 
 let attrib_record_to_json ~size_pkts (r : Delay.record) =
   Printf.sprintf
@@ -117,6 +118,18 @@ let to_json ?(records = false) ?(extra = []) (r : Runner.result) =
   | Some a ->
       Buffer.add_string buf
         (Printf.sprintf {|,"attrib":%s|} (Attrib.to_json a)));
+  (* Hybrid fidelity accounting (codec v7); absent unless run ~hybrid. *)
+  (match r.Runner.hybrid with
+  | None -> ()
+  | Some h ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|,"hybrid":{"on":%b,"fluid_threshold":%d,"fluid_flows":%d,"demotions":%d,"fault_demotions":%d,"recomputes":%d,"fluid_bytes":%s,"short_p99":%s}|}
+           h.Runner.hybrid_on h.Runner.threshold_bytes h.Runner.fluid_flows
+           h.Runner.fluid_demotions h.Runner.fault_demotions
+           h.Runner.fluid_recomputes
+           (json_float h.Runner.fluid_bytes)
+           (json_float h.Runner.short_p99)));
   (match r.Runner.sched_profile with
   | [] -> ()
   | sites ->

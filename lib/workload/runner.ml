@@ -15,6 +15,32 @@ let name = function
 
 let pase = Pase Config.default
 
+(* Hybrid fidelity: which protocols may carry fluid (flow-level) traffic.
+   ECN-based transports converge to a fair share on long flows, which is
+   exactly what the max-min fluid model computes; PASE's rate assignment is
+   approximated by the same fair share while a flow is fluid (arbitration
+   re-engages at demotion). pFabric/PDQ/D3 schedule packets by remaining
+   size or explicit per-flow rates — collapsing them to a fair share would
+   change the very mechanism under study, so they stay packet-level. *)
+let fluid_capable = function
+  | Dctcp | D2tcp | L2dct | Pase _ -> true
+  | Pfabric | Pdq | D3 -> false
+
+type hybrid = { enabled : bool; fluid_threshold : int }
+
+let default_fluid_threshold = 32768
+
+type hybrid_stats = {
+  hybrid_on : bool;
+  threshold_bytes : int;
+  fluid_flows : int;  (* classifier sent to the fluid tier *)
+  fluid_demotions : int;  (* total demotions to packet level *)
+  fault_demotions : int;  (* demotions forced by path faults *)
+  fluid_recomputes : int;  (* rate-allocation passes *)
+  fluid_bytes : float;  (* bytes advanced analytically *)
+  short_p99 : float;  (* p99 FCT of flows the classifier left packet-level *)
+}
+
 type result = {
   scenario : string;
   protocol : string;
@@ -42,6 +68,8 @@ type result = {
   afct_inflation : float;  (* afct /. afct_baseline; nan if n/a *)
   attrib : Attrib.t option;
       (* per-flow delay attribution aggregate; None unless run ~attrib *)
+  hybrid : hybrid_stats option;
+      (* hybrid fidelity accounting; None unless run ~hybrid *)
   peak_heap : int;
   sched_profile : (string * int) list;
   (* GC deltas over the run, profiling runs only (zero otherwise). Like
@@ -88,16 +116,23 @@ let qdisc_for protocol counters ~rtt =
           ~mark_threshold:(mark_threshold_for rate_bps)
 
 let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
-    ?(attrib = false) ?on_attrib ?series protocol scenario =
+    ?(attrib = false) ?on_attrib ?series ?hybrid protocol scenario =
+  (match hybrid with
+  | Some h when h.fluid_threshold <= 0 ->
+      invalid_arg "Runner.run: fluid threshold must be positive"
+  | _ -> ());
   (* Fault-free baseline for AFCT inflation, run first so the faulted run's
      process-global state (packet ids, trace clock) is the fresh one.
      Skipped under tracing: the baseline's events would pollute the sinks.
-     The baseline inherits [stats] (same memory profile) but never spills
-     records, never samples and never attributes: only the measured run's
-     flows belong in the stream (and Delay is process-global, like Trace). *)
+     The baseline inherits [stats] and [hybrid] (same memory and fidelity
+     profile) but never spills records, never samples and never attributes:
+     only the measured run's flows belong in the stream (and Delay is
+     process-global, like Trace). *)
   let afct_baseline =
     if scenario.Scenario.faults = [] || Trace.on () then nan
-    else (run ?horizon ~stats protocol (Scenario.with_faults scenario [])).afct
+    else
+      (run ?horizon ~stats ?hybrid protocol (Scenario.with_faults scenario []))
+        .afct
   in
   let attrib_agg = if attrib then Some (Attrib.create ()) else None in
   if attrib then Delay.enable ();
@@ -109,6 +144,47 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
   let plan = Scenario.build scenario engine counters ~qdisc in
   let topo = plan.Scenario.topo in
   let net = topo.Topology.net in
+  (* The fluid tier exists only when hybrid is enabled for a whitelisted
+     protocol; with [None] every coupling hook below compiles to a
+     pattern-match on a constant and the packet path is untouched. *)
+  let hybrid_on =
+    match hybrid with
+    | Some h -> h.enabled && fluid_capable protocol
+    | None -> false
+  in
+  let fluid_tier =
+    if hybrid_on then
+      match hybrid with
+      | Some h ->
+          (* DCTCP-family fluid flows hold ~K (the marking threshold) of
+             standing backlog at their bottleneck; packet-tier traffic
+             waits behind it in the full engine, so the fluid tier pushes
+             the equivalent latency. PASE's arbitration paces senders to
+             allocated rates and keeps queues near-empty: no term. *)
+          let standing_of =
+            match protocol with
+            | Dctcp | D2tcp | L2dct ->
+                (* 3/4 K: the sawtooth oscillates below the threshold, so
+                   the time-average backlog sits under K (calibrated on the
+                   fat-tree accuracy harness; see DESIGN.md §15). *)
+                fun rate_bps ->
+                  0.75
+                  *. float_of_int (mark_threshold_for rate_bps)
+                  *. float_of_int (8 * (mss + Packet.header_bytes))
+                  /. rate_bps
+            | Pase _ | Pfabric | Pdq | D3 -> fun _ -> 0.
+          in
+          Some
+            (Fluid.create engine net
+               ~demote_bytes:(float_of_int h.fluid_threshold)
+               ~standing_of
+               (* One pass per topology RTT: congestion control cannot
+                  re-converge faster anyway, and it decouples allocation
+                  cost from the flow churn rate at scale. *)
+               ~min_interval:(Scenario.nominal_rtt scenario) ())
+      | None -> None
+    else None
+  in
   let fct =
     match stats with
     | `Exact -> Fct.create ()
@@ -163,6 +239,11 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
           | None -> ()
         in
         let on_link a b ~up =
+          (* A down link demotes every fluid flow crossing it: loss and
+             recovery behaviour need the packet engine. *)
+          (match fluid_tier with
+          | Some fl -> Fluid.on_link_change fl a b ~up
+          | None -> ());
           if not up then
             List.iter
               (fun key ->
@@ -230,6 +311,16 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
     Hashtbl.create 256
   in
   let next_id = ref 0 in
+  (* Fidelity tag: the classifier decision, recorded even when hybrid is
+     configured but disabled, so a packet-only comparison run cuts the
+     identical short-flow subset (see Fct.packet_tier_percentile). *)
+  let classify (spec : Scenario.flow_spec) =
+    match hybrid with
+    | Some h ->
+        fluid_capable protocol
+        && Scenario.fluid_eligible ~threshold_bytes:h.fluid_threshold spec
+    | None -> false
+  in
   let launch (spec : Scenario.flow_spec) =
     let id = !next_id in
     incr next_id;
@@ -237,15 +328,11 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
       if spec.Scenario.long_lived then Flow.long_lived_size
       else Flow.size_pkts_of_bytes ~mss spec.Scenario.size_bytes
     in
-    let flow =
-      Flow.make ~id ~src:spec.Scenario.src ~dst:spec.Scenario.dst ~size_pkts
-        ~start_time:(Engine.now engine) ?deadline:spec.Scenario.deadline ()
-    in
+    let launched_at = Engine.now engine in
     let init_rtt =
       Topology.base_rtt topo ~src:spec.Scenario.src ~dst:spec.Scenario.dst
         ~data_bytes:(mss + Packet.header_bytes)
     in
-    let recv = Receiver.create net ~flow ~ack_tos:0 ~ack_prio:0. () in
     (* Zero-load FCT: base RTT plus serialization of the remaining train at
        the edge rate (slowdown denominator). *)
     let ideal =
@@ -255,78 +342,157 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
     in
     if not spec.Scenario.long_lived then
       Hashtbl.replace open_flows id (spec, size_pkts, ideal);
-    let on_complete _sender ~fct:flow_fct =
-      Receiver.stop recv;
-      if not spec.Scenario.long_lived then begin
-        Hashtbl.remove open_flows id;
-        record
-          {
-            Fct.flow = id;
-            size_pkts;
-            start_time = flow.Flow.start_time;
-            fct = flow_fct;
-            deadline = spec.Scenario.deadline;
-            censored = false;
-            ideal = Some ideal;
-            task = spec.Scenario.task;
-          };
-        (match attrib_agg with
-        | Some agg -> (
-            match Delay.take ~flow:id with
-            | Some r ->
-                Attrib.add agg ~size_pkts r;
-                (match on_attrib with
-                | Some f -> f ~size_pkts r
-                | None -> ())
-            | None -> ())
+    let fluid_tag = classify spec in
+    (* Start — or restart, after fluid demotion — the packet-level life of
+       the flow. For a never-fluid flow the arguments are the full size and
+       original deadline and this is exactly the pre-hybrid launch path. *)
+    let start_packet ~remaining_pkts ~deadline ~init_cwnd () =
+      let flow =
+        Flow.make ~id ~src:spec.Scenario.src ~dst:spec.Scenario.dst
+          ~size_pkts:remaining_pkts ~start_time:(Engine.now engine) ?deadline ()
+      in
+      let recv = Receiver.create net ~flow ~ack_tos:0 ~ack_prio:0. () in
+      let on_complete _sender ~fct:_ =
+        Receiver.stop recv;
+        (match fluid_tier with
+        | Some fl -> Fluid.unregister_packet fl ~id
         | None -> ());
-        incr completed;
-        if !completed = total_measured then Engine.stop engine
-      end
+        if not spec.Scenario.long_lived then begin
+          Hashtbl.remove open_flows id;
+          record
+            {
+              Fct.flow = id;
+              size_pkts;
+              start_time = launched_at;
+              (* Full span, covering any fluid phase of a demoted flow. For
+                 a never-fluid flow this is bit-identical to the sender's
+                 reported fct: same subtraction, same operands. *)
+              fct = Engine.now engine -. launched_at;
+              deadline = spec.Scenario.deadline;
+              censored = false;
+              ideal = Some ideal;
+              task = spec.Scenario.task;
+              fluid = fluid_tag;
+            };
+          (match attrib_agg with
+          | Some agg -> (
+              match Delay.take ~flow:id with
+              | Some r ->
+                  Attrib.add agg ~size_pkts r;
+                  (match on_attrib with
+                  | Some f -> f ~size_pkts r
+                  | None -> ())
+              | None -> ())
+          | None -> ());
+          incr completed;
+          if !completed = total_measured then Engine.stop engine
+        end
+      in
+      (match fluid_tier with
+      | Some fl ->
+          Fluid.register_packet fl ~id ~src:spec.Scenario.src
+            ~dst:spec.Scenario.dst
+      | None -> ());
+      match protocol with
+      | Dctcp ->
+          let conf = Dctcp.conf ~init_rtt () in
+          let conf =
+            match init_cwnd with
+            | Some w -> { conf with Sender_base.init_cwnd = w }
+            | None -> conf
+          in
+          Sender_base.start (Dctcp.create net ~flow ~conf ~on_complete ())
+      | D2tcp ->
+          let conf = D2tcp.conf ~init_rtt () in
+          let conf =
+            match init_cwnd with
+            | Some w -> { conf with Sender_base.init_cwnd = w }
+            | None -> conf
+          in
+          Sender_base.start (D2tcp.create net ~flow ~conf ~on_complete ())
+      | L2dct ->
+          let conf = L2dct.conf ~init_rtt () in
+          let conf =
+            match init_cwnd with
+            | Some w -> { conf with Sender_base.init_cwnd = w }
+            | None -> conf
+          in
+          Sender_base.start (L2dct.create net ~flow ~conf ~on_complete ())
+      | Pfabric ->
+          (* Table 3 verbatim: flows start at a 38-segment window (line rate
+             for over an RTT on every topology evaluated). *)
+          Sender_base.start
+            (Pfabric_host.create net ~flow
+               ~conf:(Pfabric_host.conf ~init_rtt ~init_cwnd:38. ())
+               ~on_complete ())
+      | Pdq ->
+          let arbiters =
+            pdq_arbiters_for ~flow:id spec.Scenario.src spec.Scenario.dst
+          in
+          Pdq.start
+            (Pdq.create net ~flow ~arbiters ~rtt:init_rtt
+               ~conf:(Pdq.conf ~init_rtt ()) ~on_complete ())
+      | D3 ->
+          let routers =
+            d3_routers_for ~flow:id spec.Scenario.src spec.Scenario.dst
+          in
+          D3.start
+            (D3.create net ~flow ~routers ~rtt:init_rtt
+               ~conf:(D3.conf ~init_rtt ()) ~on_complete ())
+      | Pase cfg ->
+          let h = match hierarchy with Some h -> h | None -> assert false in
+          (* Task-aware scheduling: all flows of a task share one criterion,
+             tasks served in arrival order (task ids are assigned in arrival
+             order by the scenario). *)
+          let criterion_override =
+            match (cfg.Config.scheduling, spec.Scenario.task) with
+            | Config.Task_aware, Some task -> Some (fun () -> float_of_int task)
+            | (Config.Task_aware | Config.Srpt | Config.Edf), _ -> None
+          in
+          Pase_host.start
+            (Pase_host.create net h ~flow ~cfg ~rtt:init_rtt
+               ~nic_bps:topo.Topology.edge_rate_bps ?criterion_override
+               ~on_complete ())
     in
-    match protocol with
-    | Dctcp ->
-        Sender_base.start
-          (Dctcp.create net ~flow ~conf:(Dctcp.conf ~init_rtt ()) ~on_complete ())
-    | D2tcp ->
-        Sender_base.start
-          (D2tcp.create net ~flow ~conf:(D2tcp.conf ~init_rtt ()) ~on_complete ())
-    | L2dct ->
-        Sender_base.start
-          (L2dct.create net ~flow ~conf:(L2dct.conf ~init_rtt ()) ~on_complete ())
-    | Pfabric ->
-        (* Table 3 verbatim: flows start at a 38-segment window (line rate
-           for over an RTT on every topology evaluated). *)
-        Sender_base.start
-          (Pfabric_host.create net ~flow
-             ~conf:(Pfabric_host.conf ~init_rtt ~init_cwnd:38. ())
-             ~on_complete ())
-    | Pdq ->
-        let arbiters = pdq_arbiters_for ~flow:id spec.Scenario.src spec.Scenario.dst in
-        Pdq.start
-          (Pdq.create net ~flow ~arbiters ~rtt:init_rtt
-             ~conf:(Pdq.conf ~init_rtt ()) ~on_complete ())
-    | D3 ->
-        let routers = d3_routers_for ~flow:id spec.Scenario.src spec.Scenario.dst in
-        D3.start
-          (D3.create net ~flow ~routers ~rtt:init_rtt
-             ~conf:(D3.conf ~init_rtt ()) ~on_complete ())
-    | Pase cfg ->
-        let h =
-          match hierarchy with Some h -> h | None -> assert false
+    match fluid_tier with
+    | Some fl when fluid_tag ->
+        (* Fluid phase first; [on_demote] fires exactly once (synchronously
+           when the size is already at the boundary) and hands the packet
+           tail over with the settled remaining bytes and last fluid rate. *)
+        let bytes =
+          if spec.Scenario.long_lived then infinity
+          else float_of_int spec.Scenario.size_bytes
         in
-        (* Task-aware scheduling: all flows of a task share one criterion,
-           tasks served in arrival order (task ids are assigned in arrival
-           order by the scenario). *)
-        let criterion_override =
-          match (cfg.Config.scheduling, spec.Scenario.task) with
-          | Config.Task_aware, Some task -> Some (fun () -> float_of_int task)
-          | (Config.Task_aware | Config.Srpt | Config.Edf), _ -> None
-        in
-        Pase_host.start
-          (Pase_host.create net h ~flow ~cfg ~rtt:init_rtt
-             ~nic_bps:topo.Topology.edge_rate_bps ?criterion_override
-             ~on_complete ())
+        Fluid.admit fl ~id ~src:spec.Scenario.src ~dst:spec.Scenario.dst ~bytes
+          ~on_demote:(fun ~remaining_bytes ~rate_bps ->
+            let now = Engine.now engine in
+            let remaining_pkts =
+              (* A fault can demote a long-lived flow with infinite
+                 remaining bytes: it continues long-lived at packet level. *)
+              if remaining_bytes >= 1e15 then Flow.long_lived_size
+              else
+                Flow.size_pkts_of_bytes ~mss
+                  (max 1 (int_of_float (ceil remaining_bytes)))
+            in
+            let deadline =
+              Option.map
+                (fun d -> Float.max 1e-6 (d -. (now -. launched_at)))
+                spec.Scenario.deadline
+            in
+            (* Seed the demoted window near the fluid rate so the packet
+               tail resumes at speed instead of slow-starting. *)
+            let init_cwnd =
+              if rate_bps <= 0. then None
+              else
+                Some
+                  (Float.max 2.
+                     (rate_bps *. init_rtt
+                     /. float_of_int (8 * (mss + Packet.header_bytes))))
+            in
+            start_packet ~remaining_pkts ~deadline ~init_cwnd ())
+    | Some _ | None ->
+        start_packet ~remaining_pkts:size_pkts ~deadline:spec.Scenario.deadline
+          ~init_cwnd:None ()
   in
   List.iter
     (fun spec ->
@@ -388,6 +554,7 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
           censored = true;
           ideal = Some ideal;
           task = spec.Scenario.task;
+          fluid = classify spec;
         })
     open_flows;
   let prof = Engine.profile engine in
@@ -404,6 +571,39 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
     | None -> nan
   in
   if attrib then Delay.disable ();
+  let hybrid_stats =
+    match hybrid with
+    | None -> None
+    | Some h ->
+        let fs =
+          match fluid_tier with
+          | Some fl ->
+              (* Settle censored fluid flows to the end time so the
+                 analytic byte count covers the whole run. *)
+              Fluid.flush fl;
+              Fluid.stats fl
+          | None ->
+              {
+                Fluid.admitted = 0;
+                demotions = 0;
+                fault_demotions = 0;
+                recomputes = 0;
+                bytes_advanced = 0.;
+                live = 0;
+              }
+        in
+        Some
+          {
+            hybrid_on;
+            threshold_bytes = h.fluid_threshold;
+            fluid_flows = fs.Fluid.admitted;
+            fluid_demotions = fs.Fluid.demotions;
+            fault_demotions = fs.Fluid.fault_demotions;
+            fluid_recomputes = fs.Fluid.recomputes;
+            fluid_bytes = fs.Fluid.bytes_advanced;
+            short_p99 = Fct.packet_tier_percentile fct 99.;
+          }
+  in
   {
     scenario = scenario.Scenario.name;
     protocol = name protocol;
@@ -431,6 +631,7 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
     afct_baseline;
     afct_inflation = afct /. afct_baseline;
     attrib = attrib_agg;
+    hybrid = hybrid_stats;
     peak_heap = prof.Engine.peak_heap;
     sched_profile = prof.Engine.sites;
     gc_minor_words = prof.Engine.minor_words;

@@ -15,6 +15,34 @@ val name : protocol -> string
 (** PASE with the paper's default configuration. *)
 val pase : protocol
 
+(** Hybrid fidelity: which protocols may carry fluid (flow-level) traffic.
+    DCTCP-family transports and PASE converge to fair shares on long flows
+    (PASE's arbitration is approximated by the max-min share while a flow
+    is fluid); pFabric/PDQ/D3 schedule by remaining size or explicit rates
+    and stay packet-level. *)
+val fluid_capable : protocol -> bool
+
+(** Hybrid-engine configuration. [enabled = false] keeps every flow at
+    packet level but still tags records with the classifier decision, so a
+    comparison run cuts the identical short-flow subset as the hybrid run
+    with the same [fluid_threshold] (bytes). *)
+type hybrid = { enabled : bool; fluid_threshold : int }
+
+val default_fluid_threshold : int
+
+type hybrid_stats = {
+  hybrid_on : bool;  (** fluid tier active (enabled and whitelisted) *)
+  threshold_bytes : int;
+  fluid_flows : int;  (** flows the classifier sent to the fluid tier *)
+  fluid_demotions : int;  (** total demotions to packet level *)
+  fault_demotions : int;  (** demotions forced by path faults *)
+  fluid_recomputes : int;  (** max-min rate-allocation passes *)
+  fluid_bytes : float;  (** bytes advanced analytically *)
+  short_p99 : float;
+      (** p99 FCT of completed flows the classifier left packet-level — the
+          hybrid accuracy metric (see {!Fct.packet_tier_percentile}) *)
+}
+
 type result = {
   scenario : string;
   protocol : string;
@@ -53,7 +81,10 @@ type result = {
   afct_inflation : float;  (** [afct /. afct_baseline]; [nan] if n/a *)
   attrib : Attrib.t option;
       (** per-flow delay attribution aggregate (see {!Delay} and
-          {!Attrib}); [None] unless [run ~attrib:true] *)
+          {!Attrib}); [None] unless [run ~attrib:true]. For demoted flows
+          the attribution covers the packet-level phase only *)
+  hybrid : hybrid_stats option;
+      (** hybrid fidelity accounting; [None] unless [run ~hybrid] *)
   peak_heap : int;  (** peak engine event-heap depth over the run *)
   sched_profile : (string * int) list;
       (** executions per schedule-site label (see {!Engine.profile});
@@ -94,7 +125,16 @@ type result = {
     [(store, interval)] pair, drives a {!Sampler} over the topology's links
     at [interval] seconds of sim time into [store]. Both are observation
     layers: the simulated outcome (FCTs, events, counters) is identical
-    with them on or off. *)
+    with them on or off.
+
+    [hybrid] configures the hybrid fidelity engine (see DESIGN.md §15):
+    with [enabled = true] and a whitelisted protocol, flows the classifier
+    marks eligible ({!Scenario.fluid_eligible}) run as fluid rate shares
+    until their remaining bytes reach [fluid_threshold] (or a fault touches
+    their path), then finish packet-level; every record carries the
+    classifier tag and [result.hybrid] reports the accounting. Omitting
+    [hybrid] is byte-identical to the pre-hybrid runner. Raises
+    [Invalid_argument] when [fluid_threshold <= 0]. *)
 val run :
   ?profile:bool ->
   ?horizon:float ->
@@ -103,6 +143,7 @@ val run :
   ?attrib:bool ->
   ?on_attrib:(size_pkts:int -> Delay.record -> unit) ->
   ?series:Series.store * float ->
+  ?hybrid:hybrid ->
   protocol ->
   Scenario.t ->
   result

@@ -211,6 +211,15 @@ let pick_pair t (topo : Topology.t) rng =
       (* Clients 0..8 send to the server (host 9). *)
       (hosts.(Rng.int rng 9), hosts.(9))
 
+(* Hybrid-engine classifier: a flow is fluid-eligible when it is long-lived
+   or at least [threshold_bytes] long. Deterministic, spec-only — the same
+   spec classifies the same way in every run and process, which is what
+   makes hybrid and packet-only runs directly comparable on the packet-tier
+   (short-flow) subset. Protocol whitelisting is the runner's half of the
+   decision (Runner.fluid_capable). *)
+let fluid_eligible ~threshold_bytes (s : flow_spec) =
+  s.long_lived || s.size_bytes >= threshold_bytes
+
 (* Propagation plus one data serialization per hop, rounded generously;
    matches Topology.base_rtt within ~10%. *)
 let nominal_rtt t =

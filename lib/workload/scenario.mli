@@ -106,6 +106,12 @@ val fat_tree_uniform :
     background flow, 250 us RTT. *)
 val testbed : ?num_flows:int -> ?seed:int -> load:float -> unit -> t
 
+(** Hybrid-engine classifier: [true] when the flow is long-lived or at
+    least [threshold_bytes] long. Deterministic and spec-only, so hybrid
+    and packet-only runs cut the identical short-flow subset; the protocol
+    whitelist is the runner's half of the decision. *)
+val fluid_eligible : threshold_bytes:int -> flow_spec -> bool
+
 (** Estimate of the zero-load RTT the pattern's topology yields (used to
     size BDP-proportional buffers before the topology exists). *)
 val nominal_rtt : t -> float

@@ -142,6 +142,50 @@ let test_compact_releases_values () =
   done;
   Alcotest.(check int) "survivors" 10 (Eheap.size (Sys.opaque_identity h))
 
+let test_compact_shrinks_capacity () =
+  (* A long run's high-water mark must not pin RSS: once compaction leaves
+     occupancy far below capacity, the SoA backing arrays shrink (to 2x
+     live, floored at the initial 64), and the heap keeps working — grows
+     again, drains in order — after the swap. *)
+  let h = Eheap.create ~dummy:(-1) () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    Eheap.add h ~time:(float_of_int ((i * 37) mod 997)) ~seq:i i
+  done;
+  let peak = Eheap.capacity h in
+  Alcotest.(check bool) "capacity grew past 10k" true (peak >= n);
+  Eheap.compact h ~keep:(fun ~seq _ -> seq < 10);
+  Alcotest.(check int) "10 survive" 10 (Eheap.size h);
+  Alcotest.(check int) "capacity shrank to the floor" 64 (Eheap.capacity h);
+  (* A modest survivor set above the floor shrinks to 2x live instead. *)
+  let h2 = Eheap.create ~dummy:(-1) () in
+  for i = 0 to n - 1 do
+    Eheap.add h2 ~time:(float_of_int i) ~seq:i i
+  done;
+  Eheap.compact h2 ~keep:(fun ~seq _ -> seq < 100);
+  Alcotest.(check int) "capacity = 2x live" 200 (Eheap.capacity h2);
+  (* No shrink while occupancy stays above a quarter of capacity: dropping
+     almost nothing must not reallocate (compact runs on hot paths). *)
+  let h3 = Eheap.create ~dummy:(-1) () in
+  for i = 0 to n - 1 do
+    Eheap.add h3 ~time:(float_of_int i) ~seq:i i
+  done;
+  let cap3 = Eheap.capacity h3 in
+  Eheap.compact h3 ~keep:(fun ~seq _ -> seq > 0);
+  Alcotest.(check int) "dense heap keeps its arrays" cap3 (Eheap.capacity h3);
+  (* The shrunk heap still orders correctly and regrows. *)
+  for i = n to n + 499 do
+    Eheap.add h ~time:(float_of_int ((i * 53) mod 997)) ~seq:i i
+  done;
+  let rec drain last count =
+    match Eheap.pop h with
+    | Some (t, _) ->
+        Alcotest.(check bool) "monotone drain after shrink" true (t >= last);
+        drain t (count + 1)
+    | None -> count
+  in
+  Alcotest.(check int) "all survivors drain" 510 (drain neg_infinity 0)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"Eheap drains in sorted key order" ~count:200
     QCheck.(list (float_bound_inclusive 1000.))
@@ -243,6 +287,8 @@ let suite =
       test_pop_releases_values_after_grow;
     Alcotest.test_case "compact releases values" `Quick
       test_compact_releases_values;
+    Alcotest.test_case "compact shrinks capacity" `Quick
+      test_compact_shrinks_capacity;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_fifo_on_equal_keys;
     QCheck_alcotest.to_alcotest prop_model_interleaved;

@@ -296,6 +296,163 @@ let test_attribution_exact_under_faults () =
       ("crash", crash_spec, Runner.pase);
     ]
 
+(* ---- hybrid classifier edges and fault-driven promotion ------------------ *)
+
+(* The classifier has two halves — spec (size/long-lived vs threshold) and
+   protocol whitelist — and both must behave at their edges: every flow
+   fluid, no flow fluid, a size landing exactly on the threshold, and a
+   fault yanking fluid flows back to packet level mid-run. *)
+
+let hybrid_on = { Runner.enabled = true; fluid_threshold = 32768 }
+
+let hstats (r : Runner.result) =
+  match r.Runner.hybrid with
+  | Some h -> h
+  | None -> Alcotest.fail "hybrid accounting missing"
+
+(* A scenario whose every measured flow has the same known size. The
+   unchanged-statistics tests zero the background flows: long-lived flows
+   are fluid-eligible regardless of size, and a live fluid allocation
+   changes the physics the packet tier sees (that is the model working,
+   not an identity the edge cases can assert through). *)
+let constant_size ?(flows = 40) ?background bytes =
+  let base = Scenario.left_right ~num_flows:flows ~seed:1 ~load:0.6 () in
+  let background =
+    Option.value background ~default:base.Scenario.background_flows
+  in
+  {
+    base with
+    Scenario.size_bytes = Dist.constant (float_of_int bytes);
+    background_flows = background;
+  }
+
+let test_hybrid_all_fluid () =
+  (* Every size above the threshold + fluid-capable protocol: the whole
+     workload (measured flows and the two long-lived background flows)
+     goes through the fluid tier, and every finite flow demotes exactly
+     once to finish packet-level. *)
+  let sc = constant_size 100_000 in
+  let r = Runner.run ~hybrid:hybrid_on Runner.Dctcp sc in
+  let h = hstats r in
+  Alcotest.(check bool) "tier active" true h.Runner.hybrid_on;
+  Alcotest.(check int) "all flows fluid"
+    (40 + sc.Scenario.background_flows)
+    h.Runner.fluid_flows;
+  Alcotest.(check int) "every measured flow demoted once" 40
+    h.Runner.fluid_demotions;
+  Alcotest.(check int) "no fault demotions" 0 h.Runner.fault_demotions;
+  Alcotest.(check int) "all complete" 40 r.Runner.completed;
+  Alcotest.(check bool) "bytes advanced analytically" true
+    (h.Runner.fluid_bytes > 0.);
+  Alcotest.(check bool) "short-flow p99 empty (no packet-tier flows)" true
+    (Float.is_nan h.Runner.short_p99)
+
+let test_hybrid_all_packet () =
+  (* Below-threshold sizes keep every flow packet-level even with the tier
+     enabled; the packet simulation must be unperturbed (identical FCT
+     statistics to a run without the hybrid option, which a zero fluid
+     allocation guarantees). *)
+  let sc = constant_size ~background:0 20_000 in
+  let plain = Runner.run Runner.Dctcp sc in
+  let r = Runner.run ~hybrid:hybrid_on Runner.Dctcp sc in
+  let h = hstats r in
+  Alcotest.(check bool) "tier active" true h.Runner.hybrid_on;
+  Alcotest.(check int) "no flow fluid" 0 h.Runner.fluid_flows;
+  Alcotest.(check int) "no demotions" 0 h.Runner.fluid_demotions;
+  Alcotest.(check (float 0.)) "afct unchanged" plain.Runner.afct r.Runner.afct;
+  Alcotest.(check (float 0.)) "p99 unchanged" plain.Runner.p99 r.Runner.p99;
+  (* Non-whitelisted protocol: enabled but inert, statistics identical. *)
+  let pf_plain = Runner.run Runner.Pfabric sc in
+  let pf = Runner.run ~hybrid:hybrid_on Runner.Pfabric sc in
+  let hpf = hstats pf in
+  Alcotest.(check bool) "pfabric stays packet-only" false hpf.Runner.hybrid_on;
+  Alcotest.(check int) "no pfabric fluid flows" 0 hpf.Runner.fluid_flows;
+  Alcotest.(check (float 0.)) "pfabric afct unchanged" pf_plain.Runner.afct
+    pf.Runner.afct;
+  Alcotest.(check int) "pfabric events unchanged" pf_plain.Runner.events
+    pf.Runner.events
+
+let test_hybrid_threshold_exact () =
+  (* Size exactly on the threshold: fluid-eligible by the >= rule, but the
+     admitted flow is already at the demotion boundary, so it demotes
+     synchronously with zero bytes advanced and runs packet-level from the
+     first byte — per-flow statistics equal to a pure packet run. *)
+  let spec =
+    {
+      Scenario.src = 0;
+      dst = 1;
+      size_bytes = 32768;
+      start = 0.;
+      deadline = None;
+      long_lived = false;
+      task = None;
+    }
+  in
+  Alcotest.(check bool) "exactly-at-threshold is eligible" true
+    (Scenario.fluid_eligible ~threshold_bytes:32768 spec);
+  Alcotest.(check bool) "one byte below is not" false
+    (Scenario.fluid_eligible ~threshold_bytes:32768
+       { spec with Scenario.size_bytes = 32767 });
+  let sc = constant_size ~background:0 32768 in
+  let plain = Runner.run Runner.Dctcp sc in
+  let r = Runner.run ~hybrid:hybrid_on Runner.Dctcp sc in
+  let h = hstats r in
+  Alcotest.(check int) "all measured flows admitted" 40 h.Runner.fluid_flows;
+  Alcotest.(check int) "all demoted (instantly)" 40 h.Runner.fluid_demotions;
+  Alcotest.(check (float 0.)) "instant demotion advanced nothing" 0.
+    h.Runner.fluid_bytes;
+  Alcotest.(check (float 0.)) "afct equals pure packet run" plain.Runner.afct
+    r.Runner.afct;
+  Alcotest.(check (float 0.)) "p99 equals pure packet run" plain.Runner.p99
+    r.Runner.p99
+
+let test_hybrid_fault_demotes () =
+  (* A link-down on the agg-core bottleneck while above-threshold flows are
+     mid-transfer: every fluid flow routed across it must be demoted by the
+     fault (packet level owns loss/RTO behaviour), and the workload still
+     completes through recovery. *)
+  let sc =
+    Scenario.with_faults
+      (constant_size ~flows:60 150_000)
+      (parsed "down:a=agg0,b=core0,at=0.004,up=0.02")
+  in
+  let r = Runner.run ~hybrid:hybrid_on Runner.Dctcp sc in
+  let h = hstats r in
+  Alcotest.(check bool) "fault forced demotions" true
+    (h.Runner.fault_demotions > 0);
+  Alcotest.(check bool) "fault demotions within total" true
+    (h.Runner.fault_demotions <= h.Runner.fluid_demotions);
+  Alcotest.(check int) "all flows complete despite the fault" 60
+    r.Runner.completed;
+  Alcotest.(check int) "none censored" 0 r.Runner.censored
+
+let test_hybrid_rerun_and_fork_identical () =
+  (* Hybrid determinism end to end: reruns are bit-identical, the fork pool
+     reproduces serial bytes, and a faulted hybrid run replays too. *)
+  let sc = faulted ~flows:60 () in
+  let r1 = Runner.run ~hybrid:hybrid_on Runner.Dctcp sc in
+  let r2 = Runner.run ~hybrid:hybrid_on Runner.Dctcp sc in
+  Alcotest.(check bool) "hybrid faulted rerun bit-identical" true
+    (encode r1 = encode r2);
+  let grid =
+    List.map
+      (fun p -> (p, Scenario.left_right ~num_flows:50 ~seed:3 ~load:0.6 ()))
+      [ Runner.pase; Runner.Dctcp; Runner.Pfabric ]
+  in
+  let serial =
+    Parallel.run_jobs ~jobs:1 ~cache_dir:None ~hybrid:hybrid_on grid
+  in
+  let forked =
+    Parallel.run_jobs ~jobs:3 ~cache_dir:None ~hybrid:hybrid_on grid
+  in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "hybrid fork result %d identical" i)
+        true
+        (encode a = encode b))
+    (List.combine serial forked)
+
 let suite =
   [
     Alcotest.test_case "parse roundtrip and errors" `Quick test_parse_roundtrip;
@@ -313,4 +470,12 @@ let suite =
     Alcotest.test_case "crash recovery bounded" `Slow test_crash_recovery_bounded;
     Alcotest.test_case "ctrl loss expiry and re-request" `Quick
       test_ctrl_loss_expiry_and_rerequest;
+    Alcotest.test_case "hybrid: all-fluid edge" `Quick test_hybrid_all_fluid;
+    Alcotest.test_case "hybrid: all-packet edge" `Quick test_hybrid_all_packet;
+    Alcotest.test_case "hybrid: threshold-exact edge" `Quick
+      test_hybrid_threshold_exact;
+    Alcotest.test_case "hybrid: fault demotes mid-flow" `Quick
+      test_hybrid_fault_demotes;
+    Alcotest.test_case "hybrid: rerun and fork identical" `Slow
+      test_hybrid_rerun_and_fork_identical;
   ]
