@@ -91,6 +91,24 @@ let macro ?(attrib = false) ?hybrid ~flows ~reps () =
   in
   best samples
 
+(* The empirical-workload point: the same k=6 fat-tree driven by the
+   web-search CDF instead of U[2 KB, 198 KB]. Heavy-tailed sizes shift the
+   event mix (a few flows carry most packets), so this tracks the
+   inverse-CDF sampling layer plus the engine under realistic traffic. *)
+let macro_empirical ~flows ~reps () =
+  let scenario =
+    Scenario.with_sizes
+      (Scenario.fat_tree_uniform ~k:6 ~num_flows:flows ~seed:1 ~load:0.6 ())
+      Dist.web_search_bytes
+  in
+  let samples =
+    List.init reps (fun _ ->
+        measure (fun () ->
+            let r = Runner.run Runner.pase scenario in
+            r.Runner.events))
+  in
+  best samples
+
 let hybrid_default =
   { Runner.enabled = true; fluid_threshold = Runner.default_fluid_threshold }
 
@@ -229,20 +247,21 @@ let probe_float line key =
       float_of_string_opt (String.sub line start (!stop - start))
 
 let entry_json ~label ~quick ~flows ~scale_flows ~(macro : sample)
-    ~(attrib_m : sample) ~(hybrid_m : sample) ~(scale : sample)
-    ~(heap : sample) ~(timer : sample) =
+    ~(attrib_m : sample) ~(hybrid_m : sample) ~(empirical_m : sample)
+    ~(scale : sample) ~(heap : sample) ~(timer : sample) =
   (* macro_attrib / macro_hybrid / macro_scale keys are prefixed
      (attrib_events_per_sec, hybrid_events_per_sec, ...) so the flat
      textual probe stays unambiguous: a plain "events_per_sec" probe keeps
      hitting the attribution-off packet-mode macro number. *)
   Printf.sprintf
-    {|{"label":"%s","quick":%b,"macro":{"scenario":"fat-tree-k6","protocol":"pase","load":0.6,"flows":%d,"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"gc":{"minor_words":%.0f,"promoted_words":%.0f,"major_collections":%d}},"macro_attrib":{"events":%d,"wall_s":%.6f,"attrib_events_per_sec":%.0f,"attrib_overhead_pct":%.2f},"macro_hybrid":{"events":%d,"wall_s":%.6f,"hybrid_events_per_sec":%.0f,"hybrid_wall_vs_macro":%.3f},"macro_scale":{"scenario":"fat-tree-k10","flows":%d,"events":%d,"wall_s":%.6f,"scale_events_per_sec":%.0f},"heap_churn":{"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"minor_words":%.0f},"timer_churn":{"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"minor_words":%.0f}}|}
+    {|{"label":"%s","quick":%b,"macro":{"scenario":"fat-tree-k6","protocol":"pase","load":0.6,"flows":%d,"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"gc":{"minor_words":%.0f,"promoted_words":%.0f,"major_collections":%d}},"macro_attrib":{"events":%d,"wall_s":%.6f,"attrib_events_per_sec":%.0f,"attrib_overhead_pct":%.2f},"macro_hybrid":{"events":%d,"wall_s":%.6f,"hybrid_events_per_sec":%.0f,"hybrid_wall_vs_macro":%.3f},"macro_empirical":{"scenario":"fat-tree-k6+web-search","flows":%d,"events":%d,"wall_s":%.6f,"empirical_events_per_sec":%.0f},"macro_scale":{"scenario":"fat-tree-k10","flows":%d,"events":%d,"wall_s":%.6f,"scale_events_per_sec":%.0f},"heap_churn":{"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"minor_words":%.0f},"timer_churn":{"events":%d,"wall_s":%.6f,"events_per_sec":%.0f,"minor_words":%.0f}}|}
     label quick flows macro.events macro.wall_s (per_sec macro)
     macro.gc.minor_words macro.gc.promoted_words macro.gc.major_collections
     attrib_m.events attrib_m.wall_s (per_sec attrib_m)
     (100. *. ((per_sec macro /. per_sec attrib_m) -. 1.))
     hybrid_m.events hybrid_m.wall_s (per_sec hybrid_m)
     (hybrid_m.wall_s /. macro.wall_s)
+    flows empirical_m.events empirical_m.wall_s (per_sec empirical_m)
     scale_flows scale.events scale.wall_s (per_sec scale)
     heap.events heap.wall_s (per_sec heap) heap.gc.minor_words timer.events
     timer.wall_s (per_sec timer) timer.gc.minor_words
@@ -288,6 +307,9 @@ let () =
   let macro = macro ~flows ~reps () in
   Printf.eprintf "  [micro] macro: %d events in %.3fs = %.0f ev/s\n%!"
     macro.events macro.wall_s (per_sec macro);
+  let empirical_m = macro_empirical ~flows ~reps () in
+  Printf.eprintf "  [micro] macro empirical: %d events in %.3fs = %.0f ev/s\n%!"
+    empirical_m.events empirical_m.wall_s (per_sec empirical_m);
   let scale_flows = if !quick then 2000 else 20_000 in
   Printf.eprintf "  [micro] macro scale: fat-tree k=10, %d flows, hybrid\n%!"
     scale_flows;
@@ -302,7 +324,7 @@ let () =
     timer.events timer.wall_s (per_sec timer);
   let entry =
     entry_json ~label:!label ~quick:!quick ~flows ~scale_flows ~macro ~attrib_m
-      ~hybrid_m ~scale ~heap ~timer
+      ~hybrid_m ~empirical_m ~scale ~heap ~timer
   in
   let entries =
     List.filter (fun (l, _) -> l <> !label) (read_entries !out) @ [ (!label, entry) ]

@@ -41,6 +41,10 @@ let scenarios =
     ( "data-mining",
       "40-host rack, empirical data-mining flow sizes (heavier tail)",
       fun ~num_flows ~seed ~load -> Scenario.data_mining ~num_flows ~seed ~load () );
+    ( "hadoop",
+      "40-host rack, empirical hadoop flow sizes (shuffle-heavy tail)",
+      fun ~num_flows ~seed ~load ->
+        Scenario.empirical ~dist:Dist.hadoop_bytes ~num_flows ~seed ~load () );
     ( "fat-tree",
       "k=6 fat-tree (54 hosts), uniform random pairs over ECMP",
       fun ~num_flows ~seed ~load ->
@@ -49,6 +53,14 @@ let scenarios =
       "k=10 fat-tree (250 hosts), uniform random pairs over ECMP",
       fun ~num_flows ~seed ~load ->
         Scenario.fat_tree_uniform ~k:10 ~num_flows ~seed ~load () );
+    ( "hotspot",
+      "k=6 fat-tree with rack-level skew: half the traffic targets one rack",
+      fun ~num_flows ~seed ~load ->
+        Scenario.hotspot ~k:6 ~num_flows ~seed ~load () );
+    ( "traffic-matrix",
+      "k=6 fat-tree driven by a seeded random rack-to-rack demand matrix",
+      fun ~num_flows ~seed ~load ->
+        Scenario.traffic_matrix ~k:6 ~num_flows ~seed ~load () );
   ]
 
 let protocols =
@@ -117,6 +129,33 @@ let hybrid_rows (r : Runner.result) =
         ];
       ]
 
+let coflow_rows (r : Runner.result) =
+  match r.Runner.coflow with
+  | None -> []
+  | Some c ->
+      let ms v =
+        if Float.is_nan v then "n/a" else Printf.sprintf "%.3f" (v *. 1e3)
+      in
+      [
+        [
+          "coflows";
+          Printf.sprintf "%d (%d censored)" (Coflow.coflows c)
+            (Coflow.censored c);
+        ];
+        [ "coflow member flows"; string_of_int (Coflow.flows c) ];
+        [ "CCT mean (ms)"; ms (Coflow.cct_mean c) ];
+        [ "CCT p50 (ms)"; ms (Coflow.cct_quantile c 0.5) ];
+        [ "CCT p99 (ms)"; ms (Coflow.cct_quantile c 0.99) ];
+        [
+          "coflow deadline met";
+          (if Coflow.deadline_total c = 0 then "n/a"
+           else
+             Printf.sprintf "%d/%d (%.3f)" (Coflow.deadline_met c)
+               (Coflow.deadline_total c)
+               (Coflow.deadline_met_frac c));
+        ];
+      ]
+
 let print_result (r : Runner.result) =
   Series.print_table
     ~title:
@@ -154,7 +193,7 @@ let print_result (r : Runner.result) =
               Printf.sprintf "%.4f" (Fct.quantile_rank_error r.Runner.fct 99.);
             ];
           ])
-    @ hybrid_rows r @ fault_rows r)
+    @ coflow_rows r @ hybrid_rows r @ fault_rows r)
 
 open Cmdliner
 
@@ -301,6 +340,117 @@ let fluid_threshold_arg =
     & opt (some int) None
     & info [ "fluid-threshold" ] ~docv:"BYTES" ~doc)
 
+let workload_arg =
+  let doc =
+    "Override the scenario's flow-size distribution with a built-in \
+     empirical CDF: $(b,websearch), $(b,datamining) or $(b,hadoop) \
+     (case/dash/underscore-insensitive). Mutually exclusive with $(b,--cdf)."
+  in
+  Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME" ~doc)
+
+let cdf_arg =
+  let doc =
+    "Override the scenario's flow-size distribution with a user-supplied \
+     empirical CDF table: a whitespace-separated two-column \
+     $(b,<bytes> <cum-prob>) file ($(b,#) comments and blank lines \
+     ignored), probabilities non-decreasing and ending at 1. Mutually \
+     exclusive with $(b,--workload)."
+  in
+  Arg.(value & opt (some string) None & info [ "cdf" ] ~docv:"FILE" ~doc)
+
+let coflows_arg =
+  let doc =
+    "Turn arrivals into coflow jobs: $(b,width=N) or $(b,width=LO-HI) \
+     member flows per job (uniform over the range), optionally \
+     $(b,,deadline=S) or $(b,,deadline=LO-HI) seconds shared by every \
+     member. Jobs arrive Poisson at the per-flow rate divided by the mean \
+     width; the result carries coflow-completion-time (CCT) and \
+     deadline-met aggregates. Not valid on incast scenarios (queries are \
+     already task groups)."
+  in
+  Arg.(value & opt (some string) None & info [ "coflows" ] ~docv:"SPEC" ~doc)
+
+(* "N" or "LO-HI" (plain decimals; scientific notation only for single
+   values, since '-' is the range separator). *)
+let parse_range ~what s =
+  let s = String.trim s in
+  match float_of_string_opt s with
+  | Some v when v > 0. && Float.is_finite v -> Ok (Dist.constant v)
+  | Some _ -> Error (Printf.sprintf "%s must be positive, got %S" what s)
+  | None -> (
+      match String.split_on_char '-' s with
+      | [ a; b ] -> (
+          match (float_of_string_opt a, float_of_string_opt b) with
+          | Some a, Some b when a > 0. && b >= a && Float.is_finite b ->
+              Ok (Dist.uniform a b)
+          | Some _, Some _ ->
+              Error
+                (Printf.sprintf "%s range %S must satisfy 0 < LO <= HI" what s)
+          | _ -> Error (Printf.sprintf "bad %s %S (want N or LO-HI)" what s))
+      | _ -> Error (Printf.sprintf "bad %s %S (want N or LO-HI)" what s))
+
+let parse_coflows spec =
+  let width = ref None and deadline = ref None and err = ref None in
+  String.split_on_char ',' spec
+  |> List.iter (fun item ->
+         let item = String.trim item in
+         if item <> "" && !err = None then
+           match String.index_opt item '=' with
+           | None ->
+               err :=
+                 Some
+                   (Printf.sprintf "bad coflows item %S (want key=value)" item)
+           | Some i -> (
+               let key = String.sub item 0 i in
+               let value =
+                 String.sub item (i + 1) (String.length item - i - 1)
+               in
+               match key with
+               | "width" -> (
+                   match parse_range ~what:"coflow width" value with
+                   | Ok d -> width := Some d
+                   | Error e -> err := Some e)
+               | "deadline" -> (
+                   match parse_range ~what:"coflow deadline" value with
+                   | Ok d -> deadline := Some d
+                   | Error e -> err := Some e)
+               | _ ->
+                   err :=
+                     Some (Printf.sprintf "unknown coflows key %S" key)));
+  match (!err, !width) with
+  | Some e, _ -> Error e
+  | None, None -> Error "coflows spec needs width=N or width=LO-HI"
+  | None, Some w -> Ok (w, !deadline)
+
+(* Resolve --workload / --cdf into a size-distribution override. *)
+let resolve_sizes ~workload ~cdf =
+  match (workload, cdf) with
+  | Some _, Some _ -> Error "--workload and --cdf are mutually exclusive"
+  | Some name, None -> (
+      match Dist.builtin name with
+      | Some d -> Ok (Some d)
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown workload %S (want websearch, datamining or hadoop)"
+               name))
+  | None, Some file -> (
+      match Dist.of_cdf_file file with
+      | Ok d -> Ok (Some d)
+      | Error e -> Error ("--cdf: " ^ e))
+  | None, None -> Ok None
+
+(* Apply --workload/--cdf and --coflows to a built scenario. *)
+let customize scn ~sizes ~coflows =
+  let scn =
+    match sizes with None -> scn | Some d -> Scenario.with_sizes scn d
+  in
+  match coflows with
+  | None -> Ok scn
+  | Some (width, deadline_s) -> (
+      try Ok (Scenario.with_coflows scn ?deadline_s ~width ())
+      with Invalid_argument e -> Error e)
+
 let faults_arg =
   let doc =
     "Semicolon-separated fault schedule: \
@@ -395,7 +545,7 @@ let profile_rows (r : Runner.result) =
 let run_cmd =
   let action scenario protocol load flows seed no_cache json trace trace_format
       trace_filter trace_limit profile faults stream_results exact_stats attrib
-      series series_interval hybrid_on fluid_threshold =
+      series series_interval hybrid_on fluid_threshold workload cdf coflows =
     match (find_scenario scenario, find_protocol protocol) with
     | Ok sc, Ok proto ->
         if load <= 0. || load > 1. then `Error (false, "load must be in (0,1]")
@@ -427,9 +577,18 @@ let run_cmd =
           let faults =
             match faults with None -> Ok [] | Some spec -> Fault.parse spec
           in
-          match (filter, faults) with
-          | Error e, _ | _, Error e -> `Error (false, e)
-          | Ok (kinds, flows_f, links), Ok fault_events ->
+          let sizes = resolve_sizes ~workload ~cdf in
+          let coflows =
+            match coflows with
+            | None -> Ok None
+            | Some spec -> Result.map Option.some (parse_coflows spec)
+          in
+          match (filter, faults, sizes, coflows) with
+          | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
+          | _, _, _, Error e ->
+              `Error (false, e)
+          | Ok (kinds, flows_f, links), Ok fault_events, Ok sizes, Ok coflows
+            ->
               let trace_oc =
                 match trace with
                 | None -> None
@@ -464,11 +623,14 @@ let run_cmd =
                 no_cache || trace_oc <> None || attrib <> None
                 || series <> None
               in
-              let scn =
-                Scenario.with_faults
-                  (sc ~num_flows:flows ~seed ~load)
-                  fault_events
-              in
+              match
+                customize
+                  (Scenario.with_faults (sc ~num_flows:flows ~seed ~load)
+                     fault_events)
+                  ~sizes ~coflows
+              with
+              | Error e -> `Error (false, e)
+              | Ok scn ->
               let attrib_flows = ref 0 in
               let series_seen = ref 0 in
               let series_dropped = ref 0 in
@@ -634,18 +796,20 @@ let run_cmd =
           $ seed_arg $ no_cache_arg $ json_arg $ trace_arg $ trace_format_arg
           $ trace_filter_arg $ trace_limit_arg $ profile_arg $ faults_arg
           $ stream_results_arg $ exact_stats_arg $ attrib_arg $ series_arg
-          $ series_interval_arg $ hybrid_arg $ fluid_threshold_arg))
+          $ series_interval_arg $ hybrid_arg $ fluid_threshold_arg
+          $ workload_arg $ cdf_arg $ coflows_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol on one scenario") term
 
 let compare_cmd =
-  let action scenario load flows seed jobs no_cache hybrid_on fluid_threshold =
+  let action scenario load flows seed jobs no_cache hybrid_on fluid_threshold
+      workload cdf coflows =
     match find_scenario scenario with
     | Error e -> `Error (false, e)
-    | Ok sc ->
+    | Ok sc -> (
         if match fluid_threshold with Some t -> t <= 0 | None -> false then
           `Error (false, "fluid-threshold must be positive")
-        else begin
+        else
         let hybrid =
           match (hybrid_on, fluid_threshold) with
           | false, None -> None
@@ -657,42 +821,78 @@ let compare_cmd =
                     Option.value thr ~default:Runner.default_fluid_threshold;
                 }
         in
-        (* Fan every protocol out to the worker pool; results come back in
-           input order, so the table is identical to a serial run. *)
-        let pairs =
-          List.map
-            (fun (_, proto) -> (proto, sc ~num_flows:flows ~seed ~load))
-            protocols
+        let sizes = resolve_sizes ~workload ~cdf in
+        let coflows =
+          match coflows with
+          | None -> Ok None
+          | Some spec -> Result.map Option.some (parse_coflows spec)
         in
-        let results =
-          Parallel.run_jobs ?jobs ~cache_dir:(cache_dir ~no_cache) ?hybrid pairs
-        in
-        let rows =
-          List.map2
-            (fun (name, _) r ->
-              [
-                name;
-                Printf.sprintf "%.3f" (r.Runner.afct *. 1e3);
-                Printf.sprintf "%.3f" (r.Runner.p99 *. 1e3);
-                (if Float.is_nan r.Runner.app_throughput then "n/a"
-                 else Printf.sprintf "%.3f" r.Runner.app_throughput);
-                Printf.sprintf "%.2f" (r.Runner.loss_rate *. 100.);
-              ])
-            protocols results
-        in
-        Series.print_table
-          ~title:
-            (Printf.sprintf "all protocols on %s at %.0f%% load" scenario
-               (load *. 100.))
-          ~header:[ "protocol"; "AFCT(ms)"; "p99(ms)"; "deadline-met"; "loss(%)" ]
-          rows;
-        `Ok ()
-        end
+        match (sizes, coflows) with
+        | Error e, _ | _, Error e -> `Error (false, e)
+        | Ok sizes, Ok coflows -> (
+            match customize (sc ~num_flows:flows ~seed ~load) ~sizes ~coflows with
+            | Error e -> `Error (false, e)
+            | Ok scn ->
+                (* Fan every protocol out to the worker pool; results come
+                   back in input order, so the table is identical to a
+                   serial run. *)
+                let pairs =
+                  List.map (fun (_, proto) -> (proto, scn)) protocols
+                in
+                let results =
+                  Parallel.run_jobs ?jobs ~cache_dir:(cache_dir ~no_cache)
+                    ?hybrid pairs
+                in
+                (* Same scenario everywhere: either every result carries a
+                   coflow aggregate or none does. *)
+                let with_cct =
+                  List.exists (fun r -> r.Runner.coflow <> None) results
+                in
+                let rows =
+                  List.map2
+                    (fun (name, _) r ->
+                      [
+                        name;
+                        Printf.sprintf "%.3f" (r.Runner.afct *. 1e3);
+                        Printf.sprintf "%.3f" (r.Runner.p99 *. 1e3);
+                        (if Float.is_nan r.Runner.app_throughput then "n/a"
+                         else Printf.sprintf "%.3f" r.Runner.app_throughput);
+                        Printf.sprintf "%.2f" (r.Runner.loss_rate *. 100.);
+                      ]
+                      @
+                      if not with_cct then []
+                      else
+                        match r.Runner.coflow with
+                        | None -> [ "n/a"; "n/a" ]
+                        | Some c ->
+                            let ms v =
+                              if Float.is_nan v then "n/a"
+                              else Printf.sprintf "%.3f" (v *. 1e3)
+                            in
+                            [
+                              ms (Coflow.cct_mean c);
+                              ms (Coflow.cct_quantile c 0.99);
+                            ])
+                    protocols results
+                in
+                Series.print_table
+                  ~title:
+                    (Printf.sprintf "all protocols on %s at %.0f%% load"
+                       scenario (load *. 100.))
+                  ~header:
+                    ([
+                       "protocol"; "AFCT(ms)"; "p99(ms)"; "deadline-met";
+                       "loss(%)";
+                     ]
+                    @ if with_cct then [ "CCT(ms)"; "CCT p99(ms)" ] else [])
+                  rows;
+                `Ok ()))
   in
   let term =
     Term.(
       ret (const action $ scenario_arg $ load_arg $ flows_arg $ seed_arg
-          $ jobs_arg $ no_cache_arg $ hybrid_arg $ fluid_threshold_arg))
+          $ jobs_arg $ no_cache_arg $ hybrid_arg $ fluid_threshold_arg
+          $ workload_arg $ cdf_arg $ coflows_arg))
   in
   Cmd.v
     (Cmd.info "compare"
@@ -757,6 +957,11 @@ let list_cmd =
       scenarios;
     print_endline "\nprotocols:";
     List.iter (fun (n, _) -> Printf.printf "  %s\n" n) protocols;
+    print_endline "\nworkloads (for --workload; --cdf FILE takes a table):";
+    List.iter
+      (fun (n, d) ->
+        Printf.printf "  %-12s mean %.0f bytes\n" n d.Dist.mean)
+      Dist.builtins;
     `Ok ()
   in
   Cmd.v

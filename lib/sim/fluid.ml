@@ -367,12 +367,20 @@ let entries_of_route t ~id ~src ~dst =
   in
   Array.of_list (hops nodes)
 
+(* Admission slack: one full-size frame above the boundary. Heavy-tailed
+   empirical CDFs (web-search, hadoop) put a dense band of flows barely
+   above any byte threshold; a fluid phase shorter than one packet's worth
+   of bytes advances nothing measurable yet still costs an allocation pass
+   and a boundary-timer churn per flow, so such flows demote instantly. *)
+let admit_slack_bytes = 1500.
+
 let admit t ~id ~src ~dst ~bytes ~on_demote =
-  if bytes <= 0. then invalid_arg "Fluid.admit: bytes must be positive";
+  if not (bytes > 0.) then invalid_arg "Fluid.admit: bytes must be positive";
   t.admitted <- t.admitted + 1;
-  if bytes <= t.demote_bytes +. 0.5 then begin
-    (* Already at the boundary: goes straight to the packet tier, with the
-       same observable behaviour as never having been classified fluid. *)
+  if bytes <= t.demote_bytes +. admit_slack_bytes then begin
+    (* At (or within a frame of) the boundary: goes straight to the packet
+       tier, with the same observable behaviour as never having been
+       classified fluid. *)
     t.demotions <- t.demotions + 1;
     on_demote ~remaining_bytes:bytes ~rate_bps:0.
   end

@@ -65,9 +65,15 @@ let protocol_key = function
 let pattern_key = function
   | Scenario.Left_right -> "left-right"
   | Scenario.Intra_rack n -> Printf.sprintf "intra-rack:%d" n
-  | Scenario.Incast { hosts; aggregators } ->
+  | Scenario.Incast { hosts; aggregators; fanin = None } ->
       Printf.sprintf "incast:%d/%d" hosts aggregators
+  | Scenario.Incast { hosts; aggregators; fanin = Some d } ->
+      Printf.sprintf "incast:%d/%d/fanin=%s/%s" hosts aggregators d.Dist.name
+        (fl d.Dist.mean)
   | Scenario.Fat_tree k -> Printf.sprintf "fat-tree:%d" k
+  | Scenario.Hotspot { k; hot_racks; hot_weight } ->
+      Printf.sprintf "hotspot:%d/%d/%s" k hot_racks (fl hot_weight)
+  | Scenario.Traffic_matrix { k } -> Printf.sprintf "traffic-matrix:%d" k
   | Scenario.Testbed -> "testbed"
 
 let scenario_key (s : Scenario.t) =
@@ -85,6 +91,13 @@ let scenario_key (s : Scenario.t) =
       Printf.sprintf "bg=%d" s.Scenario.background_flows;
       Printf.sprintf "seed=%d" s.Scenario.seed;
       "faults=" ^ Fault.spec_key s.Scenario.faults;
+      (match s.Scenario.coflow with
+      | None -> "coflow=-"
+      | Some { Scenario.width; deadline_s } ->
+          Printf.sprintf "coflow=%s/%s/%s" width.Dist.name (fl width.Dist.mean)
+            (match deadline_s with
+            | None -> "-"
+            | Some d -> Printf.sprintf "%s/%s" d.Dist.name (fl d.Dist.mean)));
     ]
 
 let job_key ?horizon ?(profile = false) ?(stats = `Exact) ?(attrib = false)

@@ -233,6 +233,14 @@ let top_queues t =
   in
   take t.top by_depth
 
+(* Coflow aggregate embedded in a v8 result; None for pre-coflow runs. *)
+let coflow_obj run =
+  match Json.member "coflow" run with
+  | Some (Json.Obj _ as c) -> Some c
+  | _ -> None
+
+let coflow_num c key = Option.value ~default:nan (Json.float_member key c)
+
 let vs_mean run component =
   (* mean of one component over the "all" band of a result's attrib object *)
   let ( >>= ) o f = Option.bind o f in
@@ -326,6 +334,21 @@ let to_json t =
         (Printf.sprintf {|],"total_drops":%s}|}
            (json_float
               (List.fold_left (fun acc l -> acc +. l.drops) 0. t.links))));
+  (match coflow_obj t.run with
+  | None -> ()
+  | Some c ->
+      Buffer.add_string buf {|,"coflow":{|};
+      List.iteri
+        (fun i key ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf {|"%s":%s|} key (json_float (coflow_num c key))))
+        [
+          "coflows"; "completed"; "censored"; "flows"; "cct_mean"; "cct_p50";
+          "cct_p90"; "cct_p99"; "deadline_met"; "deadline_total";
+          "deadline_met_frac";
+        ];
+      Buffer.add_char buf '}');
   (match t.vs with
   | None -> ()
   | Some other ->
@@ -407,6 +430,33 @@ let print t =
              [ l.label; Printf.sprintf "%.0f" l.peak_pkts;
                Printf.sprintf "%.0f" l.drops ])
            (top_queues t)));
+  (match coflow_obj t.run with
+  | None -> ()
+  | Some c ->
+      let n k = coflow_num c k in
+      let ms x =
+        if Float.is_nan x then "-" else Printf.sprintf "%.3fms" (1e3 *. x)
+      in
+      Series.print_table ~title:"Coflow completion (all-workers-finish)"
+        ~header:[ "metric"; "value" ]
+        [
+          [
+            "coflows";
+            Printf.sprintf "%.0f (%.0f censored)" (n "coflows") (n "censored");
+          ];
+          [ "member flows"; Printf.sprintf "%.0f" (n "flows") ];
+          [ "cct mean"; ms (n "cct_mean") ];
+          [ "cct p50"; ms (n "cct_p50") ];
+          [ "cct p99"; ms (n "cct_p99") ];
+          [
+            "deadline met";
+            (if Float.is_nan (n "deadline_met_frac") then "-"
+             else
+               Printf.sprintf "%.0f/%.0f (%.1f%%)" (n "deadline_met")
+                 (n "deadline_total")
+                 (100. *. n "deadline_met_frac"));
+          ];
+        ]);
   match t.vs with
   | None -> ()
   | Some other ->

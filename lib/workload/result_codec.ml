@@ -1,4 +1,4 @@
-let version = 7
+let version = 8
 let magic = "PASE-RES"
 let header_len = String.length magic + 4
 
@@ -130,6 +130,13 @@ let to_json ?(records = false) ?(extra = []) (r : Runner.result) =
            h.Runner.fluid_recomputes
            (json_float h.Runner.fluid_bytes)
            (json_float h.Runner.short_p99)));
+  (* Coflow (task-group) CCT aggregate (codec v8); absent when no spec
+     carried a task id. *)
+  (match r.Runner.coflow with
+  | None -> ()
+  | Some c ->
+      Buffer.add_string buf
+        (Printf.sprintf {|,"coflow":%s|} (Coflow.to_json c)));
   (match r.Runner.sched_profile with
   | [] -> ()
   | sites ->

@@ -70,6 +70,9 @@ type result = {
       (* per-flow delay attribution aggregate; None unless run ~attrib *)
   hybrid : hybrid_stats option;
       (* hybrid fidelity accounting; None unless run ~hybrid *)
+  coflow : Coflow.t option;
+      (* coflow (task-group) CCT aggregate; None when no spec carries a
+         task id *)
   peak_heap : int;
   sched_profile : (string * int) list;
   (* GC deltas over the run, profiling runs only (zero otherwise). Like
@@ -77,6 +80,17 @@ type result = {
   gc_minor_words : float;
   gc_promoted_words : float;
   gc_major_collections : int;
+}
+
+(* Running state of one task group (incast query or coflow job) while its
+   member records stream in; folded into the Coflow aggregate at the end of
+   the run, in sorted task-id order. *)
+type group = {
+  mutable first_start : float;
+  mutable last_end : float;
+  mutable members : int;
+  mutable any_censored : bool;
+  mutable group_deadline : float option;  (* min over member deadlines *)
 }
 
 let mss = 1460
@@ -190,10 +204,48 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
     | `Exact -> Fct.create ()
     | `Streaming -> Fct.create_streaming ~seed:scenario.Scenario.seed ()
   in
+  (* Task groups (incast queries, coflow jobs) under construction: keyed by
+     task id, folded into the Coflow aggregate after the run. *)
+  let coflow_groups : (int, group) Hashtbl.t = Hashtbl.create 64 in
+  let coflow_track (r : Fct.record) =
+    match r.Fct.task with
+    | None -> ()
+    | Some tid ->
+        let g =
+          match Hashtbl.find_opt coflow_groups tid with
+          | Some g -> g
+          | None ->
+              let g =
+                {
+                  first_start = infinity;
+                  last_end = neg_infinity;
+                  members = 0;
+                  any_censored = false;
+                  group_deadline = None;
+                }
+              in
+              Hashtbl.replace coflow_groups tid g;
+              g
+        in
+        g.members <- g.members + 1;
+        if r.Fct.start_time < g.first_start then g.first_start <- r.Fct.start_time;
+        let finish = r.Fct.start_time +. r.Fct.fct in
+        if finish > g.last_end then g.last_end <- finish;
+        if r.Fct.censored then g.any_censored <- true;
+        (match r.Fct.deadline with
+        | Some d ->
+            g.group_deadline <-
+              Some
+                (match g.group_deadline with
+                | None -> d
+                | Some d0 -> Float.min d0 d)
+        | None -> ())
+  in
   (* Every record goes through here: aggregate, then spill to the caller's
      sink (the CLI's JSONL stream) if one is attached. *)
   let record r =
     Fct.add_record fct r;
+    coflow_track r;
     match on_record with Some f -> f r | None -> ()
   in
   let hierarchy =
@@ -571,6 +623,23 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
     | None -> nan
   in
   if attrib then Delay.disable ();
+  (* All-workers-finish: CCT spans the group's first start to its last
+     member's finish. Sorted task order makes t-digest insertion — and so
+     every published quantile — byte-stable across runs and processes. *)
+  let coflow_agg =
+    if Hashtbl.length coflow_groups = 0 then None
+    else begin
+      let agg = Coflow.create () in
+      Det_tbl.iter
+        (fun _tid g ->
+          Coflow.observe agg
+            ~cct:(Float.max 0. (g.last_end -. g.first_start))
+            ~width:g.members ~censored:g.any_censored
+            ~deadline:g.group_deadline)
+        coflow_groups;
+      Some agg
+    end
+  in
   let hybrid_stats =
     match hybrid with
     | None -> None
@@ -632,6 +701,7 @@ let rec run ?(profile = false) ?horizon ?(stats = `Exact) ?on_record
     afct_inflation = afct /. afct_baseline;
     attrib = attrib_agg;
     hybrid = hybrid_stats;
+    coflow = coflow_agg;
     peak_heap = prof.Engine.peak_heap;
     sched_profile = prof.Engine.sites;
     gc_minor_words = prof.Engine.minor_words;

@@ -85,6 +85,14 @@ type result = {
           the attribution covers the packet-level phase only *)
   hybrid : hybrid_stats option;
       (** hybrid fidelity accounting; [None] unless [run ~hybrid] *)
+  coflow : Coflow.t option;
+      (** coflow (task-group) completion aggregate with all-workers-finish
+          semantics: one group per task id (incast queries and
+          {!Scenario.with_coflows} jobs), CCT = last member finish − first
+          member start, group deadline = min over member deadlines. [None]
+          when no spec carries a task id. Groups are finalised in sorted
+          task-id order, so the aggregate is byte-stable across runs and
+          processes. *)
   peak_heap : int;  (** peak engine event-heap depth over the run *)
   sched_profile : (string * int) list;
       (** executions per schedule-site label (see {!Engine.profile});

@@ -1,9 +1,13 @@
 type pattern =
   | Left_right
   | Intra_rack of int
-  | Incast of { hosts : int; aggregators : int }
+  | Incast of { hosts : int; aggregators : int; fanin : Dist.t option }
   | Fat_tree of int
+  | Hotspot of { k : int; hot_racks : int; hot_weight : float }
+  | Traffic_matrix of { k : int }
   | Testbed
+
+type coflow_conf = { width : Dist.t; deadline_s : Dist.t option }
 
 type t = {
   name : string;
@@ -15,9 +19,25 @@ type t = {
   background_flows : int;
   seed : int;
   faults : Fault.event list;
+  coflow : coflow_conf option;
 }
 
 let with_faults t faults = { t with faults }
+
+let with_coflows t ?deadline_s ~width () =
+  (match t.pattern with
+  | Incast _ ->
+      invalid_arg
+        "Scenario.with_coflows: incast queries are already task groups"
+  | _ -> ());
+  { t with coflow = Some { width; deadline_s } }
+
+let with_sizes t dist =
+  {
+    t with
+    size_bytes = dist;
+    name = Printf.sprintf "%s+%s" t.name dist.Dist.name;
+  }
 
 type flow_spec = {
   src : int;
@@ -26,7 +46,7 @@ type flow_spec = {
   start : float;
   deadline : float option;
   long_lived : bool;
-  task : int option;  (* task (query) id for task-aware scheduling *)
+  task : int option;  (* task (query/coflow) id for group semantics *)
 }
 
 type plan = {
@@ -50,6 +70,7 @@ let left_right ?(num_flows = 1000) ?(seed = 1) ~load () =
     background_flows = 2;
     seed;
     faults = [];
+    coflow = None;
   }
 
 let deadline_intra_rack ?(num_flows = 800) ?(seed = 1) ~load () =
@@ -63,6 +84,7 @@ let deadline_intra_rack ?(num_flows = 800) ?(seed = 1) ~load () =
     background_flows = 2;
     seed;
     faults = [];
+    coflow = None;
   }
 
 let intra_rack_medium ?(num_flows = 800) ?(seed = 1) ~load () =
@@ -76,18 +98,28 @@ let intra_rack_medium ?(num_flows = 800) ?(seed = 1) ~load () =
     background_flows = 2;
     seed;
     faults = [];
+    coflow = None;
   }
 
-let worker_aggregator ?(hosts = 40) ?aggregators ?(num_flows = 1000) ?(seed = 1)
-    ~load () =
+let worker_aggregator ?(hosts = 40) ?aggregators ?fanin ?(num_flows = 1000)
+    ?(seed = 1) ~load () =
   {
     name =
-      (match aggregators with
-      | None -> "worker-aggregator"
-      | Some a -> Printf.sprintf "worker-aggregator-a%d" a);
+      (let base =
+         match aggregators with
+         | None -> "worker-aggregator"
+         | Some a -> Printf.sprintf "worker-aggregator-a%d" a
+       in
+       match fanin with
+       | None -> base
+       | Some d -> Printf.sprintf "%s-fanin-%s" base d.Dist.name);
     pattern =
       Incast
-        { hosts; aggregators = (match aggregators with Some a -> a | None -> hosts) };
+        {
+          hosts;
+          aggregators = (match aggregators with Some a -> a | None -> hosts);
+          fanin;
+        };
     size_bytes = Dist.uniform 2e3 198e3;
     deadline_s = None;
     load;
@@ -95,6 +127,7 @@ let worker_aggregator ?(hosts = 40) ?aggregators ?(num_flows = 1000) ?(seed = 1)
     background_flows = 0;
     seed;
     faults = [];
+    coflow = None;
   }
 
 let worker_uniform ?(hosts = 40) ?(num_flows = 1000) ?(seed = 1) ~load () =
@@ -108,6 +141,7 @@ let worker_uniform ?(hosts = 40) ?(num_flows = 1000) ?(seed = 1) ~load () =
     background_flows = 0;
     seed;
     faults = [];
+    coflow = None;
   }
 
 let empirical ~dist ?(hosts = 40) ?(num_flows = 400) ?(seed = 1) ~load () =
@@ -121,6 +155,7 @@ let empirical ~dist ?(hosts = 40) ?(num_flows = 400) ?(seed = 1) ~load () =
     background_flows = 0;
     seed;
     faults = [];
+    coflow = None;
   }
 
 let web_search ?hosts ?num_flows ?seed ~load () =
@@ -140,6 +175,41 @@ let fat_tree_uniform ?(k = 4) ?(num_flows = 1000) ?(seed = 1) ~load () =
     background_flows = 2;
     seed;
     faults = [];
+    coflow = None;
+  }
+
+let hotspot ?(k = 4) ?(hot_racks = 1) ?(hot_weight = 0.5) ?(num_flows = 1000)
+    ?(seed = 1) ~load () =
+  let racks = k * k / 2 in
+  if hot_racks < 1 || hot_racks > racks then
+    invalid_arg "Scenario.hotspot: hot_racks out of range";
+  if hot_weight <= 0. || hot_weight > 1. then
+    invalid_arg "Scenario.hotspot: hot_weight must be in (0, 1]";
+  {
+    name = Printf.sprintf "hotspot-k%d-r%d" k hot_racks;
+    pattern = Hotspot { k; hot_racks; hot_weight };
+    size_bytes = Dist.uniform 2e3 198e3;
+    deadline_s = None;
+    load;
+    num_flows;
+    background_flows = 2;
+    seed;
+    faults = [];
+    coflow = None;
+  }
+
+let traffic_matrix ?(k = 4) ?(num_flows = 1000) ?(seed = 1) ~load () =
+  {
+    name = Printf.sprintf "traffic-matrix-k%d" k;
+    pattern = Traffic_matrix { k };
+    size_bytes = Dist.uniform 2e3 198e3;
+    deadline_s = None;
+    load;
+    num_flows;
+    background_flows = 2;
+    seed;
+    faults = [];
+    coflow = None;
   }
 
 let testbed ?(num_flows = 1000) ?(seed = 1) ~load () =
@@ -153,18 +223,26 @@ let testbed ?(num_flows = 1000) ?(seed = 1) ~load () =
     background_flows = 1;
     seed;
     faults = [];
+    coflow = None;
   }
 
 (* Bottleneck against which the offered load is measured:
    - left-right: the 10 Gbps agg-core link on the left half;
    - intra-rack all-to-all with n hosts: the n edge links in aggregate
      (uniform destinations load each access link at [load]);
+   - hotspot: the hot racks' downlinks, which absorb a [hot_weight]
+     fraction of all traffic (capped at the fabric's host capacity);
+   - traffic-matrix: aggregate host capacity — the matrix skews per-rack
+     load around that operating point by construction;
    - testbed: the server's 1 Gbps access link. *)
 let bottleneck_of pattern =
   match pattern with
   | Left_right -> 10. *. gbps
   | Intra_rack n | Incast { hosts = n; _ } -> float_of_int n *. gbps
-  | Fat_tree k -> float_of_int (k * k * k / 4) *. gbps
+  | Fat_tree k | Traffic_matrix { k } -> float_of_int (k * k * k / 4) *. gbps
+  | Hotspot { k; hot_racks; hot_weight } ->
+      let hot = float_of_int (hot_racks * (k / 2)) *. gbps /. hot_weight in
+      Float.min hot (float_of_int (k * k * k / 4) *. gbps)
   | Testbed -> gbps
 
 let make_topology t engine counters ~qdisc =
@@ -176,7 +254,7 @@ let make_topology t engine counters ~qdisc =
   | Intra_rack n | Incast { hosts = n; _ } ->
       Topology.single_rack engine counters ~hosts:n ~rate_bps:gbps
         ~link_delay_s:25e-6 ~qdisc
-  | Fat_tree k ->
+  | Fat_tree k | Hotspot { k; _ } | Traffic_matrix { k } ->
       Topology.fat_tree engine counters ~k ~rate_bps:gbps ~link_delay_s:25e-6
         ~qdisc
   | Testbed ->
@@ -207,6 +285,30 @@ let pick_pair t (topo : Topology.t) rng =
         if d = src then pick () else d
       in
       (src, pick ())
+  | Hotspot { k; hot_racks; hot_weight } ->
+      (* Fat-tree hosts are laid out rack by rack, so the hot set is the
+         first [hot_racks * k/2] hosts. Sources are uniform; destinations
+         land in the hot set with probability [hot_weight]. *)
+      let n = Array.length hosts in
+      let hot_hosts = hot_racks * (k / 2) in
+      let src = hosts.(Rng.int rng n) in
+      let rec pick () =
+        let d =
+          if Rng.float rng 1.0 < hot_weight then hosts.(Rng.int rng hot_hosts)
+          else hosts.(Rng.int rng n)
+        in
+        if d = src then pick () else d
+      in
+      (src, pick ())
+  | Traffic_matrix _ ->
+      (* Replaced by the matrix-driven picker in [build]. *)
+      let n = Array.length hosts in
+      let src = hosts.(Rng.int rng n) in
+      let rec pick () =
+        let d = hosts.(Rng.int rng n) in
+        if d = src then pick () else d
+      in
+      (src, pick ())
   | Testbed ->
       (* Clients 0..8 send to the server (host 9). *)
       (hosts.(Rng.int rng 9), hosts.(9))
@@ -215,8 +317,11 @@ let pick_pair t (topo : Topology.t) rng =
    or at least [threshold_bytes] long. Deterministic, spec-only — the same
    spec classifies the same way in every run and process, which is what
    makes hybrid and packet-only runs directly comparable on the packet-tier
-   (short-flow) subset. Protocol whitelisting is the runner's half of the
-   decision (Runner.fluid_capable). *)
+   (short-flow) subset. Heavy-tailed empirical CDFs (web-search, hadoop)
+   put most bytes far above any sane threshold, so the comparison holds
+   there too; flows barely above the threshold are absorbed by the fluid
+   tier's admission slack (Fluid.admit). Protocol whitelisting is the
+   runner's half of the decision (Runner.fluid_capable). *)
 let fluid_eligible ~threshold_bytes (s : flow_spec) =
   s.long_lived || s.size_bytes >= threshold_bytes
 
@@ -226,8 +331,40 @@ let nominal_rtt t =
   match t.pattern with
   | Left_right -> 0.00033
   | Intra_rack _ | Incast _ -> 0.000125
-  | Fat_tree _ -> 0.00037
+  | Fat_tree _ | Hotspot _ | Traffic_matrix _ -> 0.00037
   | Testbed -> 0.000275
+
+(* Rack-to-rack demand matrix for the traffic-matrix pattern: i.i.d.
+   exponential weights off the diagonal, drawn from a dedicated RNG stream
+   so matrix size never perturbs arrival sampling. Pairs are picked by
+   inverse-CDF over the flattened matrix, then uniform hosts within each
+   rack. *)
+let matrix_picker ~k (topo : Topology.t) rng =
+  let hosts = topo.Topology.hosts in
+  let racks = k * k / 2 in
+  let per_rack = k / 2 in
+  let mrng = Rng.split rng in
+  let cum = Array.make (racks * racks) 0. in
+  let acc = ref 0. in
+  for i = 0 to (racks * racks) - 1 do
+    let w =
+      if i / racks = i mod racks then 0. else Rng.exponential mrng ~mean:1.
+    in
+    acc := !acc +. w;
+    cum.(i) <- !acc
+  done;
+  let total = !acc in
+  fun rng ->
+    let u = Rng.float rng total in
+    let lo = ref 0 and hi = ref ((racks * racks) - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if u < cum.(mid) then hi := mid else lo := mid + 1
+    done;
+    let src_rack = !lo / racks and dst_rack = !lo mod racks in
+    let src = hosts.((src_rack * per_rack) + Rng.int rng per_rack) in
+    let dst = hosts.((dst_rack * per_rack) + Rng.int rng per_rack) in
+    (src, dst)
 
 let build t engine counters ~qdisc =
   if t.load <= 0. || t.load > 1. then invalid_arg "Scenario.build: load";
@@ -236,9 +373,14 @@ let build t engine counters ~qdisc =
   let mean_bits = 8. *. t.size_bytes.Dist.mean in
   let bottleneck_bps = bottleneck_of t.pattern in
   let arrival_rate = t.load *. bottleneck_bps /. mean_bits in
+  let picker =
+    match t.pattern with
+    | Traffic_matrix { k } -> matrix_picker ~k topo rng
+    | _ -> fun rng -> pick_pair t topo rng
+  in
   let background =
     List.init t.background_flows (fun _ ->
-        let src, dst = pick_pair t topo rng in
+        let src, dst = picker rng in
         {
           src;
           dst;
@@ -257,7 +399,7 @@ let build t engine counters ~qdisc =
   in
   let arrivals =
     match t.pattern with
-    | Incast { hosts = n; aggregators } ->
+    | Incast { hosts = n; aggregators; fanin = None } ->
         (* Query-driven search traffic (§2.1, Fig 4): each query makes every
            other host in the rack send one response flow to the aggregator;
            aggregators rotate round-robin over the first [aggregators]
@@ -290,20 +432,100 @@ let build t engine counters ~qdisc =
                          task = Some q;
                        })
                  (Array.to_list hosts)))
-    | Left_right | Intra_rack _ | Fat_tree _ | Testbed ->
-        List.init t.num_flows (fun _ ->
-            clock := !clock +. Rng.exponential rng ~mean:(1. /. arrival_rate);
-            let src, dst = pick_pair t topo rng in
-            let size = max 1 (Dist.sample_int t.size_bytes rng) in
-            {
-              src;
-              dst;
-              size_bytes = size;
-              start = !clock;
-              deadline = sample_deadline ();
-              long_lived = false;
-              task = None;
-            })
+    | Incast { hosts = n; aggregators; fanin = Some d } ->
+        (* Variable fan-in: each query samples its worker count from [d]
+           (clamped to [1, n-1]) and picks that many distinct workers via a
+           partial Fisher–Yates shuffle. The query rate is sized against the
+           mean fan-in so the aggregator downlinks still run at [load]. *)
+        let mean_fanout =
+          Float.max 1. (Float.min (float_of_int (n - 1)) d.Dist.mean)
+        in
+        let queries =
+          max 1
+            (int_of_float
+               (Float.round (float_of_int t.num_flows /. mean_fanout)))
+        in
+        let query_rate =
+          t.load *. float_of_int aggregators *. gbps
+          /. (mean_fanout *. mean_bits)
+        in
+        let hosts = topo.Topology.hosts in
+        List.concat
+          (List.init queries (fun q ->
+               clock := !clock +. Rng.exponential rng ~mean:(1. /. query_rate);
+               let agg = hosts.(q mod aggregators) in
+               let workers =
+                 Array.of_seq
+                   (Seq.filter (fun h -> h <> agg) (Array.to_seq hosts))
+               in
+               let w = min (Array.length workers) (max 1 (Dist.sample_int d rng)) in
+               for i = 0 to w - 1 do
+                 let j = i + Rng.int rng (Array.length workers - i) in
+                 let tmp = workers.(i) in
+                 workers.(i) <- workers.(j);
+                 workers.(j) <- tmp
+               done;
+               List.init w (fun i ->
+                   {
+                     src = workers.(i);
+                     dst = agg;
+                     size_bytes = max 1 (Dist.sample_int t.size_bytes rng);
+                     start = !clock;
+                     deadline = sample_deadline ();
+                     long_lived = false;
+                     task = Some q;
+                   })))
+    | Left_right | Intra_rack _ | Fat_tree _ | Hotspot _ | Traffic_matrix _
+    | Testbed -> (
+        match t.coflow with
+        | Some { width; deadline_s } ->
+            (* Coflow mode: jobs arrive Poisson at arrival_rate / E[width];
+               each job launches all its member flows at the same instant,
+               sharing one task id and one (job-level) deadline. Whole jobs
+               are generated until at least [num_flows] members exist. *)
+            let mean_width = Float.max 1. width.Dist.mean in
+            let job_rate = arrival_rate /. mean_width in
+            let rec jobs j produced acc =
+              if produced >= t.num_flows then List.rev acc
+              else begin
+                clock := !clock +. Rng.exponential rng ~mean:(1. /. job_rate);
+                let w = max 1 (Dist.sample_int width rng) in
+                let deadline =
+                  match deadline_s with
+                  | Some d -> Some (d.Dist.sample rng)
+                  | None -> sample_deadline ()
+                in
+                let members =
+                  List.init w (fun _ ->
+                      let src, dst = picker rng in
+                      {
+                        src;
+                        dst;
+                        size_bytes = max 1 (Dist.sample_int t.size_bytes rng);
+                        start = !clock;
+                        deadline;
+                        long_lived = false;
+                        task = Some j;
+                      })
+                in
+                jobs (j + 1) (produced + w) (members :: acc)
+              end
+            in
+            List.concat (jobs 0 0 [])
+        | None ->
+            List.init t.num_flows (fun _ ->
+                clock := !clock +. Rng.exponential rng ~mean:(1. /. arrival_rate);
+                let src, dst = picker rng in
+                let size = max 1 (Dist.sample_int t.size_bytes rng) in
+                {
+                  src;
+                  dst;
+                  size_bytes = size;
+                  start = !clock;
+                  deadline = sample_deadline ();
+                  long_lived = false;
+                  task = None;
+                }))
   in
   let rtt =
     let hosts = topo.Topology.hosts in

@@ -9,17 +9,32 @@ type pattern =
           hosts through the 10 Gbps agg-core bottleneck (§4.2.1) *)
   | Intra_rack of int
       (** single rack of [n] hosts, uniformly random src/dst pairs *)
-  | Incast of { hosts : int; aggregators : int }
-      (** single rack; query-driven search traffic: each query makes every
-          other host send one response flow to an aggregator picked
+  | Incast of { hosts : int; aggregators : int; fanin : Dist.t option }
+      (** single rack; query-driven search traffic: each query makes
+          workers send one response flow each to an aggregator picked
           round-robin among the first [aggregators] hosts (Fig 10c's
-          worker-aggregator pattern; a small [aggregators] creates
-          hotspots where queries overlap) *)
+          worker-aggregator pattern). With [fanin = None] every other host
+          responds (full fan-in, n-1); with [fanin = Some d] each query
+          samples its worker count from [d] (clamped to [1, n-1]) and picks
+          that many distinct workers *)
   | Fat_tree of int
       (** k-ary fat-tree (extension): k^3/4 hosts, uniform random pairs,
           per-flow ECMP over the equal-cost core paths *)
+  | Hotspot of { k : int; hot_racks : int; hot_weight : float }
+      (** k-ary fat-tree with rack-level skew: destinations land in the
+          first [hot_racks] racks with probability [hot_weight], uniform
+          otherwise. Load is measured against the hot downlinks. *)
+  | Traffic_matrix of { k : int }
+      (** k-ary fat-tree driven by a seeded random rack-to-rack demand
+          matrix (i.i.d. exponential weights, zero diagonal); pairs are
+          drawn by inverse-CDF over the flattened matrix *)
   | Testbed
       (** 10-node 1 Gbps rack, 9 clients sending to 1 server (§4.4) *)
+
+(** Coflow generation: jobs of [width] member flows that start together and
+    share a task id; [deadline_s] samples a per-job deadline applied to
+    every member (all-workers-finish semantics — see Stats.Coflow). *)
+type coflow_conf = { width : Dist.t; deadline_s : Dist.t option }
 
 type t = {
   name : string;
@@ -33,12 +48,28 @@ type t = {
   faults : Fault.event list;
       (** declarative fault schedule, armed by {!Runner.run}; empty for all
           builders — attach one with {!with_faults} *)
+  coflow : coflow_conf option;
+      (** when set, arrivals are coflow jobs instead of independent flows;
+          [None] for all builders — attach with {!with_coflows} *)
 }
 
 (** [with_faults t events] is [t] with the fault schedule replaced. The
     schedule is part of the scenario identity: it feeds the result-cache
     key and the fault-free baseline is the same scenario with [[]]. *)
 val with_faults : t -> Fault.event list -> t
+
+(** [with_coflows t ~width ()] turns the scenario's arrivals into coflow
+    jobs: Poisson job arrivals at [arrival_rate / E[width]], each launching
+    [width]-many member flows at the same instant under one task id.
+    [deadline_s] samples one deadline per job, shared by every member.
+    Raises [Invalid_argument] on incast scenarios (queries are already
+    task groups). Part of the scenario identity (cache key). *)
+val with_coflows : t -> ?deadline_s:Dist.t -> width:Dist.t -> unit -> t
+
+(** [with_sizes t dist] swaps the flow-size distribution (e.g. for
+    [--workload]/[--cdf] overrides), appending the distribution name to the
+    scenario name. *)
+val with_sizes : t -> Dist.t -> t
 
 type flow_spec = {
   src : int;
@@ -48,8 +79,9 @@ type flow_spec = {
   deadline : float option;
   long_lived : bool;
   task : int option;
-      (** task (query) id: set for [Incast] queries, used by task-aware
-          scheduling (paper §3.1.1's task-id criterion) *)
+      (** task id: set for [Incast] queries and coflow members, used by
+          task-aware scheduling (paper §3.1.1's task-id criterion) and
+          coflow aggregation *)
 }
 
 type plan = {
@@ -74,10 +106,11 @@ val deadline_intra_rack : ?num_flows:int -> ?seed:int -> load:float -> unit -> t
 val intra_rack_medium : ?num_flows:int -> ?seed:int -> load:float -> unit -> t
 
 (** Fig 10c: search worker-aggregator rack with query-synchronised
-    (round-robin aggregator) responses, sizes U[2 KB, 198 KB]. *)
+    (round-robin aggregator) responses, sizes U[2 KB, 198 KB]. [fanin]
+    samples per-query worker counts (default: full fan-in). *)
 val worker_aggregator :
-  ?hosts:int -> ?aggregators:int -> ?num_flows:int -> ?seed:int ->
-  load:float -> unit -> t
+  ?hosts:int -> ?aggregators:int -> ?fanin:Dist.t -> ?num_flows:int ->
+  ?seed:int -> load:float -> unit -> t
 
 (** Fig 4: per-flow variant of the search workload — uniformly random
     worker/aggregator pairs with Poisson arrivals (no query
@@ -102,6 +135,18 @@ val data_mining :
 val fat_tree_uniform :
   ?k:int -> ?num_flows:int -> ?seed:int -> load:float -> unit -> t
 
+(** Extension: fat-tree with rack-level hot-spot skew — destinations land
+    in the first [hot_racks] racks with probability [hot_weight] (default
+    1 rack, weight 0.5). Load is measured against the hot downlinks. *)
+val hotspot :
+  ?k:int -> ?hot_racks:int -> ?hot_weight:float -> ?num_flows:int ->
+  ?seed:int -> load:float -> unit -> t
+
+(** Extension: fat-tree driven by a seeded random rack-to-rack demand
+    matrix. *)
+val traffic_matrix :
+  ?k:int -> ?num_flows:int -> ?seed:int -> load:float -> unit -> t
+
 (** Fig 13b: testbed replica — 10 nodes, sizes U[100 KB, 500 KB], one
     background flow, 250 us RTT. *)
 val testbed : ?num_flows:int -> ?seed:int -> load:float -> unit -> t
@@ -109,7 +154,9 @@ val testbed : ?num_flows:int -> ?seed:int -> load:float -> unit -> t
 (** Hybrid-engine classifier: [true] when the flow is long-lived or at
     least [threshold_bytes] long. Deterministic and spec-only, so hybrid
     and packet-only runs cut the identical short-flow subset; the protocol
-    whitelist is the runner's half of the decision. *)
+    whitelist is the runner's half of the decision. Under heavy-tailed
+    empirical CDFs most bytes sit far above the threshold; near-threshold
+    flows are handled by the fluid tier's admission slack. *)
 val fluid_eligible : threshold_bytes:int -> flow_spec -> bool
 
 (** Estimate of the zero-load RTT the pattern's topology yields (used to

@@ -179,6 +179,290 @@ let test_runner_pase_local_variant () =
   Alcotest.(check string) "named variant" "PASE-local" r.Runner.protocol;
   Alcotest.(check int) "completes" 30 r.Runner.completed
 
+(* ---- empirical CDF layer ------------------------------------------------ *)
+
+let icdf_of d =
+  match d.Dist.icdf with
+  | Some f -> f
+  | None -> Alcotest.failf "%s: no inverse CDF" d.Dist.name
+
+let test_icdf_monotone () =
+  List.iter
+    (fun (name, d) ->
+      let inv = icdf_of d in
+      let prev = ref (inv 0.) in
+      for i = 1 to 1000 do
+        let u = float_of_int i /. 1000. in
+        let v = inv u in
+        if v < !prev then
+          Alcotest.failf "%s: icdf not monotone at u=%g" name u;
+        prev := v
+      done;
+      (* out-of-range arguments clamp rather than extrapolate *)
+      Alcotest.(check (float 0.)) "clamp low" (inv 0.) (inv (-0.5));
+      Alcotest.(check (float 0.)) "clamp high" (inv 1.) (inv 1.5))
+    Dist.builtins
+
+let test_icdf_exact_knots () =
+  (* A hand-built table: the inverse CDF must hit every knot exactly. *)
+  let knots = [ (100., 0.); (1_000., 0.5); (10_000., 0.9); (50_000., 1.) ] in
+  let d =
+    match Dist.of_cdf_points ~name:"knots" knots with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let inv = icdf_of d in
+  List.iter
+    (fun (v, p) -> Alcotest.(check (float 0.)) "knot value" v (inv p))
+    knots;
+  (* and interpolate linearly between them *)
+  Alcotest.(check (float 1e-9)) "midpoint" 550. (inv 0.25);
+  (* built-in hadoop knots (spot checks against the published shape) *)
+  let h = icdf_of Dist.hadoop_bytes in
+  Alcotest.(check (float 0.)) "hadoop min" 150. (h 0.);
+  Alcotest.(check (float 0.)) "hadoop p12" 300. (h 0.12);
+  Alcotest.(check (float 0.)) "hadoop median" 1_000. (h 0.5);
+  Alcotest.(check (float 0.)) "hadoop max" 400_000_000. (h 1.)
+
+let test_cdf_sampling_deterministic () =
+  let draw () =
+    let rng = Rng.create 42 in
+    List.init 1000 (fun _ -> Dist.web_search_bytes.Dist.sample rng)
+  in
+  let a = draw () and b = draw () in
+  Alcotest.(check bool) "identical sample streams" true (a = b)
+
+let test_builtin_lookup () =
+  List.iter
+    (fun name ->
+      match Dist.builtin name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "builtin %s not found" name)
+    [ "websearch"; "web-search"; "Web_Search"; "datamining"; "hadoop" ];
+  Alcotest.(check bool) "unknown name" true (Dist.builtin "nonesuch" = None)
+
+(* Empirical CDF of 50k samples must match the source CDF: for any
+   probability u, the fraction of samples <= icdf(u) is u up to sampling
+   noise (binomial stderr at n=50k is ~0.0022; 0.02 is a 9-sigma gate). *)
+let prop_empirical_quantiles =
+  let samples =
+    lazy
+      (let rng = Rng.create 7 in
+       let a =
+         Array.init 50_000 (fun _ -> Dist.web_search_bytes.Dist.sample rng)
+       in
+       Array.sort Float.compare a;
+       a)
+  in
+  let frac_le a v =
+    (* binary search: count of samples <= v *)
+    let lo = ref 0 and hi = ref (Array.length a) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if a.(mid) <= v then lo := mid + 1 else hi := mid
+    done;
+    float_of_int !lo /. float_of_int (Array.length a)
+  in
+  QCheck.Test.make ~name:"empirical quantiles track the source CDF" ~count:50
+    QCheck.(float_range 0.02 0.98)
+    (fun u ->
+      let a = Lazy.force samples in
+      let inv = icdf_of Dist.web_search_bytes in
+      Float.abs (frac_le a (inv u) -. u) <= 0.02)
+
+let with_temp_cdf contents f =
+  let path = Filename.temp_file "pase-cdf" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let test_cdf_file_ok () =
+  with_temp_cdf "# bytes cum-prob\n1000 0.0\n10000\t0.5\n\n100000 1.0\n"
+    (fun path ->
+      match Dist.of_cdf_file path with
+      | Error e -> Alcotest.fail e
+      | Ok d ->
+          Alcotest.(check (float 1e-9)) "table mean" 30_250. d.Dist.mean;
+          Alcotest.(check (float 0.)) "knot" 10_000. ((icdf_of d) 0.5))
+
+let test_cdf_file_malformed () =
+  let expect_error label contents =
+    with_temp_cdf contents (fun path ->
+        match Dist.of_cdf_file path with
+        | Ok _ -> Alcotest.failf "%s: accepted malformed table" label
+        | Error e ->
+            Alcotest.(check bool)
+              (label ^ ": error names the file") true
+              (String.length e > 0
+              && String.sub e 0 (String.length path) = path))
+  in
+  expect_error "non-numeric" "1000 0.0\nfoo 0.5\n2000 1.0\n";
+  expect_error "missing column" "1000 0.0\n2000\n3000 1.0\n";
+  expect_error "decreasing prob" "1000 0.0\n2000 0.6\n3000 0.4\n4000 1.0\n";
+  expect_error "last prob not 1" "1000 0.0\n2000 0.9\n";
+  expect_error "negative value" "-5 0.0\n2000 1.0\n";
+  expect_error "prob out of range" "1000 0.0\n2000 1.5\n";
+  expect_error "empty table" "# only comments\n"
+
+(* ---- scenario generators ------------------------------------------------ *)
+
+let test_hotspot_bias () =
+  let sc =
+    Scenario.hotspot ~k:4 ~hot_racks:1 ~hot_weight:0.8 ~num_flows:600 ~seed:3
+      ~load:0.5 ()
+  in
+  let plan = build sc in
+  let hosts = plan.Scenario.topo.Topology.hosts in
+  (* hosts.(i) hangs off edge switch i/(k/2): the first k/2 hosts are the
+     hot rack for hot_racks = 1, k = 4 *)
+  let hot = Array.sub hosts 0 2 in
+  let measured =
+    List.filter (fun s -> not s.Scenario.long_lived) plan.Scenario.specs
+  in
+  let in_hot =
+    List.length
+      (List.filter
+         (fun s -> Array.exists (fun h -> h = s.Scenario.dst) hot)
+         measured)
+  in
+  let frac = float_of_int in_hot /. float_of_int (List.length measured) in
+  (* expectation 0.8 + 0.2 * 2/16 = 0.825; uniform traffic would sit at
+     0.125, so a 0.6 floor separates the two by many sigma *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hot-rack fraction %.3f > 0.6" frac)
+    true (frac > 0.6);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "src <> dst" true (s.Scenario.src <> s.Scenario.dst))
+    measured
+
+let test_hotspot_validation () =
+  Alcotest.check_raises "weight out of range"
+    (Invalid_argument "Scenario.hotspot: hot_weight must be in (0, 1]")
+    (fun () -> ignore (Scenario.hotspot ~hot_weight:1.5 ~load:0.5 ()));
+  Alcotest.check_raises "too many hot racks"
+    (Invalid_argument "Scenario.hotspot: hot_racks out of range")
+    (fun () -> ignore (Scenario.hotspot ~k:4 ~hot_racks:9 ~load:0.5 ()))
+
+let test_incast_fanin () =
+  let sc =
+    Scenario.worker_aggregator ~hosts:12 ~fanin:(Dist.constant 4.)
+      ~num_flows:80 ~seed:6 ~load:0.5 ()
+  in
+  let plan = build sc in
+  let measured =
+    List.filter (fun s -> not s.Scenario.long_lived) plan.Scenario.specs
+  in
+  let by_task = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match s.Scenario.task with
+      | None -> Alcotest.fail "incast flow without task id"
+      | Some t ->
+          Hashtbl.replace by_task t
+            (s :: (try Hashtbl.find by_task t with Not_found -> [])))
+    measured;
+  Det_tbl.iter
+    (fun _ flows ->
+      Alcotest.(check int) "4 workers per query" 4 (List.length flows);
+      let workers = List.sort_uniq compare (List.map (fun s -> s.Scenario.src) flows) in
+      Alcotest.(check int) "workers distinct" 4 (List.length workers))
+    by_task
+
+let test_traffic_matrix_plan () =
+  let sc () = Scenario.traffic_matrix ~k:4 ~num_flows:300 ~seed:9 ~load:0.5 () in
+  let p1 = build (sc ()) and p2 = build (sc ()) in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "deterministic schedule" true
+        (a.Scenario.src = b.Scenario.src
+        && a.Scenario.dst = b.Scenario.dst
+        && a.Scenario.size_bytes = b.Scenario.size_bytes
+        && a.Scenario.start = b.Scenario.start))
+    p1.Scenario.specs p2.Scenario.specs;
+  (* the demand matrix has a zero diagonal: no intra-rack pairs *)
+  let hosts = p1.Scenario.topo.Topology.hosts in
+  let rack_of h =
+    let idx = ref (-1) in
+    Array.iteri (fun i x -> if x = h then idx := i) hosts;
+    !idx / 2
+  in
+  List.iter
+    (fun s ->
+      if not s.Scenario.long_lived then
+        Alcotest.(check bool) "inter-rack pair" true
+          (rack_of s.Scenario.src <> rack_of s.Scenario.dst))
+    p1.Scenario.specs
+
+(* ---- coflows ------------------------------------------------------------ *)
+
+let test_coflow_groups () =
+  let sc =
+    Scenario.with_coflows
+      (Scenario.fat_tree_uniform ~k:4 ~num_flows:60 ~seed:4 ~load:0.5 ())
+      ~deadline_s:(Dist.constant 0.05) ~width:(Dist.constant 3.) ()
+  in
+  let plan = build sc in
+  let measured =
+    List.filter (fun s -> not s.Scenario.long_lived) plan.Scenario.specs
+  in
+  let by_task = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match s.Scenario.task with
+      | None -> Alcotest.fail "coflow member without task id"
+      | Some t ->
+          Hashtbl.replace by_task t
+            (s :: (try Hashtbl.find by_task t with Not_found -> [])))
+    measured;
+  Alcotest.(check bool) "several jobs" true (Hashtbl.length by_task >= 10);
+  Det_tbl.iter
+    (fun _ flows ->
+      Alcotest.(check int) "3 members per job" 3 (List.length flows);
+      let starts = List.sort_uniq compare (List.map (fun s -> s.Scenario.start) flows) in
+      Alcotest.(check int) "members start together" 1 (List.length starts);
+      let dls = List.sort_uniq compare (List.map (fun s -> s.Scenario.deadline) flows) in
+      Alcotest.(check int) "shared deadline" 1 (List.length dls);
+      Alcotest.(check bool) "deadline set" true (List.hd dls = Some 0.05))
+    by_task
+
+let test_coflow_rejects_incast () =
+  let sc = Scenario.worker_aggregator ~hosts:10 ~load:0.5 () in
+  Alcotest.check_raises "incast already groups"
+    (Invalid_argument
+       "Scenario.with_coflows: incast queries are already task groups")
+    (fun () -> ignore (Scenario.with_coflows sc ~width:(Dist.constant 2.) ()))
+
+let test_coflow_runner_aggregate () =
+  let sc () =
+    Scenario.with_coflows
+      (Scenario.fat_tree_uniform ~k:4 ~num_flows:60 ~seed:12 ~load:0.5 ())
+      ~deadline_s:(Dist.constant 0.05) ~width:(Dist.uniform 2. 5.) ()
+  in
+  let r1 = Runner.run Runner.Dctcp (sc ()) in
+  let r2 = Runner.run Runner.Dctcp (sc ()) in
+  match r1.Runner.coflow with
+  | None -> Alcotest.fail "no coflow aggregate"
+  | Some c ->
+      Alcotest.(check bool) "several coflows" true (Coflow.coflows c >= 10);
+      Alcotest.(check int) "members cover all records" (Coflow.flows c)
+        (r1.Runner.completed + r1.Runner.censored);
+      Alcotest.(check int) "deadline tracked" (Coflow.coflows c)
+        (Coflow.deadline_total c);
+      (* all members of a job share a start, so each group CCT is the max
+         member FCT and the mean of maxes dominates the mean FCT *)
+      Alcotest.(check bool) "cct_mean >= afct" true
+        (Coflow.cct_mean c >= r1.Runner.afct);
+      Alcotest.(check bool) "p99 >= p50" true
+        (Coflow.cct_quantile c 0.99 >= Coflow.cct_quantile c 0.5);
+      (* byte-stable across reruns, through the JSON codec *)
+      Alcotest.(check string) "rerun byte-identical"
+        (Result_codec.to_json r1) (Result_codec.to_json r2)
+
 let suite =
   [
     Alcotest.test_case "left-right plan" `Quick test_left_right_plan;
@@ -198,4 +482,20 @@ let suite =
     Alcotest.test_case "runner deterministic" `Quick test_runner_deterministic;
     Alcotest.test_case "runner deadline metric" `Quick test_runner_deadline_metric;
     Alcotest.test_case "runner PASE-local" `Quick test_runner_pase_local_variant;
+    Alcotest.test_case "icdf monotone" `Quick test_icdf_monotone;
+    Alcotest.test_case "icdf exact knots" `Quick test_icdf_exact_knots;
+    Alcotest.test_case "cdf sampling deterministic" `Quick
+      test_cdf_sampling_deterministic;
+    Alcotest.test_case "builtin lookup" `Quick test_builtin_lookup;
+    QCheck_alcotest.to_alcotest prop_empirical_quantiles;
+    Alcotest.test_case "cdf file ok" `Quick test_cdf_file_ok;
+    Alcotest.test_case "cdf file malformed" `Quick test_cdf_file_malformed;
+    Alcotest.test_case "hotspot bias" `Quick test_hotspot_bias;
+    Alcotest.test_case "hotspot validation" `Quick test_hotspot_validation;
+    Alcotest.test_case "incast fanin" `Quick test_incast_fanin;
+    Alcotest.test_case "traffic-matrix plan" `Quick test_traffic_matrix_plan;
+    Alcotest.test_case "coflow groups" `Quick test_coflow_groups;
+    Alcotest.test_case "coflow rejects incast" `Quick test_coflow_rejects_incast;
+    Alcotest.test_case "coflow runner aggregate" `Slow
+      test_coflow_runner_aggregate;
   ]
